@@ -1,0 +1,45 @@
+//! Micro-benchmark: evaluating the α–β collective cost model across algorithms and
+//! group sizes (the inner loop of every communication-task resolution).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use railsim_collectives::{
+    cost::{collective_time, CostParams},
+    Algorithm, CollectiveKind,
+};
+use railsim_sim::{Bandwidth, Bytes, SimDuration};
+
+fn bench_collective_cost(c: &mut Criterion) {
+    let params = CostParams::new(SimDuration::from_micros(10), Bandwidth::from_gbps(400.0));
+    c.bench_function("collective_cost_all_kinds_all_algorithms", |b| {
+        b.iter(|| {
+            let mut acc = SimDuration::ZERO;
+            for kind in [
+                CollectiveKind::AllReduce,
+                CollectiveKind::AllGather,
+                CollectiveKind::ReduceScatter,
+                CollectiveKind::AllToAll,
+            ] {
+                for algo in [
+                    Algorithm::Ring,
+                    Algorithm::DoubleBinaryTree,
+                    Algorithm::HalvingDoubling,
+                    Algorithm::Direct,
+                ] {
+                    for p in [2usize, 8, 64, 512] {
+                        acc = acc.saturating_add(collective_time(
+                            kind,
+                            algo,
+                            p,
+                            black_box(Bytes::from_mb(256)),
+                            &params,
+                        ));
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_collective_cost);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Micro-benchmark: the Fig. 7 fabric cost/power sweep and fat-tree sizing arithmetic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use railsim_cost::GpuBackendCostModel;
+use railsim_topology::fattree::ClosDimensions;
+
+fn bench_cost_model(c: &mut Criterion) {
+    c.bench_function("fig7_cost_power_sweep", |b| {
+        let model = GpuBackendCostModel::dgx_h200_400g();
+        b.iter(|| black_box(model.sweep(&[1024, 2048, 4096, 8192, 16384, 32768]).len()))
+    });
+
+    c.bench_function("clos_sizing_1_to_64k_endpoints", |b| {
+        b.iter(|| {
+            let mut switches = 0u64;
+            let mut n = 64u64;
+            while n <= 65536 {
+                switches += ClosDimensions::size(black_box(n), 64).total_switches();
+                n *= 2;
+            }
+            black_box(switches)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

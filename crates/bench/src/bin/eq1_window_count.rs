@@ -1,0 +1,60 @@
+//! Eq. 1: the closed-form window-count estimate, evaluated for the Llama 3.1 405B
+//! training recipe (the paper reports 127 windows per ~20 s iteration, i.e. about six
+//! reconfiguration opportunities per second) and for the paper's own 3D testbed config.
+
+use railsim_bench::Report;
+use railsim_workload::windows::{llama31_405b_inputs, window_count, WindowCountInputs};
+
+fn main() {
+    let mut report = Report::new(
+        "Eq. 1 — inter-parallelism windows per training iteration",
+        &["configuration", "PP", "layers", "microbatches", "CP/EP", "windows"],
+    );
+
+    let configs = [
+        ("Llama3.1-405B recipe [10,41]", llama31_405b_inputs()),
+        (
+            "Llama3-8B testbed (TP=4, FSDP=2, PP=2)",
+            WindowCountInputs {
+                pipeline: 2,
+                num_layers: 32,
+                num_microbatches: 2,
+                has_cp_or_ep: false,
+                has_cp_and_ep: false,
+            },
+        ),
+        (
+            "5D example (PP=4, CP&EP, 8 microbatches)",
+            WindowCountInputs {
+                pipeline: 4,
+                num_layers: 64,
+                num_microbatches: 8,
+                has_cp_or_ep: true,
+                has_cp_and_ep: true,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, inputs) in configs {
+        let breakdown = window_count(&inputs);
+        report.row(&[
+            name.to_string(),
+            inputs.pipeline.to_string(),
+            inputs.num_layers.to_string(),
+            inputs.num_microbatches.to_string(),
+            format!("{}/{}", inputs.has_cp_or_ep, inputs.has_cp_and_ep),
+            breakdown.total().to_string(),
+        ]);
+        rows.push((name, inputs, breakdown));
+    }
+    report.note("paper: 127 windows per Llama3.1-405B iteration (~6 windows/second at 1k H100s)");
+    report.print();
+
+    let detail = window_count(&llama31_405b_inputs());
+    println!();
+    println!("Llama3.1-405B breakdown: PP&FSDP={}, CP/EP&FSDP={}, CP/EP&PP={}, CP&EP={}, transitions={}",
+        detail.pp_fsdp, detail.cpep_fsdp, detail.cpep_pp, detail.cp_ep, detail.state_transitions);
+
+    Report::write_json("eq1_window_count", &rows);
+}

@@ -1,0 +1,23 @@
+//! Table 1: rule-of-thumb LLM parallelism strategies by model size and GPU count.
+
+use railsim_bench::Report;
+use railsim_workload::strategy::table1_rows;
+
+fn main() {
+    let mut report = Report::new(
+        "Table 1 — rule-of-thumb LLM parallelism strategies",
+        &["Model size", "Compute (N GPUs)", "Practices"],
+    );
+    let rows = table1_rows();
+    for rec in &rows {
+        let strategies = rec
+            .strategies
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", or ");
+        report.row(&[rec.model_class.to_string(), rec.gpu_range.to_string(), strategies]);
+    }
+    report.print();
+    Report::write_json("table1_strategies", &rows);
+}

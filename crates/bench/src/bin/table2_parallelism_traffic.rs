@@ -1,0 +1,48 @@
+//! Table 2: per-parallelism communication characteristics, instantiated for the
+//! paper's Llama3-8B workload so every row carries a concrete per-collective volume.
+
+use railsim_bench::{paper_model, paper_parallelism, Report};
+use railsim_workload::traffic::{table2_rows, Frequency, Pass};
+
+fn main() {
+    let model = paper_model();
+    let parallel = paper_parallelism();
+    let rows = table2_rows(&model, &parallel);
+
+    let mut report = Report::new(
+        format!(
+            "Table 2 — parallelism communication characteristics ({}, TP={}, DP={}, PP={})",
+            model.name, parallel.tensor, parallel.data, parallel.pipeline
+        ),
+        &["Strategy", "Memory reduction", "Collectives", "Pass", "Frequency", "Volume"],
+    );
+    for row in &rows {
+        let collectives = row
+            .collectives
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" & ");
+        let pass = match row.pass {
+            Pass::Forward => "fwd",
+            Pass::Backward => "bwd",
+            Pass::Both => "fwd+bwd",
+        };
+        let freq = match row.frequency {
+            Frequency::PerLayer => "per layer",
+            Frequency::PerOperator => "per operator",
+            Frequency::PerMicrobatch => "per microbatch",
+            Frequency::PerModel => "per model",
+        };
+        report.row(&[
+            row.strategy.to_string(),
+            row.memory_reduction.to_string(),
+            collectives,
+            pass.to_string(),
+            freq.to_string(),
+            row.volume.to_string(),
+        ]);
+    }
+    report.print();
+    Report::write_json("table2_parallelism_traffic", &rows);
+}

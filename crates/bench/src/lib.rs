@@ -1,0 +1,21 @@
+//! # railsim-bench — experiment harness for the photonic-rails reproduction
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary in
+//! `src/bin/` that regenerates it (see DESIGN.md for the full index), plus a set of
+//! criterion micro-benchmarks in `benches/`. This library holds what they share:
+//!
+//! * [`report`] — plain-text table rendering and JSON result files under `results/`,
+//! * [`setups`] — the canonical experiment setups (the paper's Perlmutter cluster, the
+//!   Llama3-8B 3D-parallel workload, the Fig. 8 latency sweep).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod setups;
+
+pub use report::Report;
+pub use setups::{
+    fig8_latencies_ms, paper_cluster, paper_compute, paper_dag, paper_dag_large_batch,
+    paper_model, paper_parallelism,
+};

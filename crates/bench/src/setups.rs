@@ -1,0 +1,80 @@
+//! Canonical experiment setups shared by the binaries and the criterion benches.
+
+use railsim_topology::{Cluster, ClusterSpec, NodePreset};
+use railsim_workload::{
+    ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig, TrainingDag,
+};
+
+/// The paper's §3.1 testbed: 4 Perlmutter GPU nodes (4× A100, NVLink 3.0, Slingshot-11).
+pub fn paper_cluster() -> Cluster {
+    ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build()
+}
+
+/// The paper's workload model: Llama 3 8B.
+pub fn paper_model() -> ModelConfig {
+    ModelConfig::llama3_8b()
+}
+
+/// The paper's parallelism configuration: TP=4 (intra-node), FSDP=2, PP=2,
+/// micro-batch size 2, 1F1B schedule.
+pub fn paper_parallelism() -> ParallelismConfig {
+    ParallelismConfig::paper_llama3_8b()
+}
+
+/// The compute model for the paper's workload on A100 GPUs.
+pub fn paper_compute() -> ComputeModel {
+    ComputeModel::derive(&paper_model(), &paper_parallelism(), &GpuSpec::a100())
+}
+
+/// The execution DAG of one training iteration of the paper's workload.
+pub fn paper_dag() -> TrainingDag {
+    DagBuilder::new(paper_model(), paper_parallelism(), paper_compute()).build()
+}
+
+/// A larger-global-batch variant of the paper workload (8 micro-batches instead of 2).
+/// The authors' measured iteration on Perlmutter is several seconds long (their Fig. 4
+/// reports windows up to a second); our roofline compute model underestimates the
+/// per-iteration work of the 2-micro-batch configuration, so Fig. 8 style sweeps use
+/// this variant to keep the ratio of reconfiguration delay to iteration time in the
+/// regime the paper studies. See EXPERIMENTS.md for the calibration note.
+pub fn paper_dag_large_batch() -> TrainingDag {
+    let mut parallel = paper_parallelism();
+    parallel.num_microbatches = 8;
+    let compute = ComputeModel::derive(&paper_model(), &parallel, &GpuSpec::a100());
+    DagBuilder::new(paper_model(), parallel, compute).build()
+}
+
+/// The reconfiguration latencies (in milliseconds) swept by Fig. 8.
+pub fn fig8_latencies_ms() -> Vec<f64> {
+    vec![0.1, 1.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_is_consistent() {
+        let cluster = paper_cluster();
+        let parallel = paper_parallelism();
+        assert_eq!(cluster.num_gpus(), parallel.world_size());
+        assert_eq!(cluster.num_rails(), 4);
+        let dag = paper_dag();
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn large_batch_variant_has_more_microbatches() {
+        let base = paper_dag();
+        let large = paper_dag_large_batch();
+        assert!(large.len() > base.len());
+    }
+
+    #[test]
+    fn fig8_sweep_matches_the_paper_x_axis() {
+        let xs = fig8_latencies_ms();
+        assert_eq!(xs.len(), 10);
+        assert_eq!(xs[0], 0.1);
+        assert_eq!(*xs.last().unwrap(), 1000.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The paper's feasibility constraints C1–C3 for circuit-switched rails.
+//!
+//! * **C1 — collective algorithm.** Low node degree restricts collectives to rings.
+//! * **C2 — parallelism dimensionality.** Each scale-out parallelism axis needs its own
+//!   circuits; the per-GPU port count bounds how many axes can coexist without
+//!   reconfiguration or multi-hop forwarding.
+//! * **C3 — bandwidth fragmentation.** Statically splitting the NIC across axes leaves
+//!   each collective only a fraction of the NIC bandwidth.
+//!
+//! [`DegreeBudget::analyze`] evaluates a proposed static allocation (no in-job
+//! reconfiguration — the strawman the paper argues against); Opus's contribution is
+//! precisely that time-multiplexing the circuits removes these constraints.
+
+use crate::algorithm::Algorithm;
+use crate::kind::ParallelismAxis;
+use crate::ring::ring_degree;
+use serde::{Deserialize, Serialize};
+
+/// One scale-out parallelism axis and the size of its communication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxisDemand {
+    /// The parallelism axis.
+    pub axis: ParallelismAxis,
+    /// Number of ranks in each of this axis's communication groups.
+    pub group_size: usize,
+    /// The collective algorithm the axis wants to run.
+    pub algorithm: Algorithm,
+}
+
+impl AxisDemand {
+    /// A ring-based demand (the common case on photonic rails).
+    pub fn ring(axis: ParallelismAxis, group_size: usize) -> Self {
+        AxisDemand {
+            axis,
+            group_size,
+            algorithm: Algorithm::Ring,
+        }
+    }
+
+    /// The node degree this axis needs.
+    pub fn required_degree(&self) -> usize {
+        match self.algorithm {
+            Algorithm::Ring => ring_degree(self.group_size),
+            other => other.required_degree(self.group_size),
+        }
+    }
+}
+
+/// The per-GPU scale-out resources available for static allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeBudget {
+    /// Number of logical NIC ports (simultaneous circuits) per GPU.
+    pub ports: usize,
+    /// Total NIC bandwidth in Gbps (used to report per-axis bandwidth).
+    pub total_bandwidth_gbps: f64,
+}
+
+impl DegreeBudget {
+    /// Creates a budget.
+    pub fn new(ports: usize, total_bandwidth_gbps: f64) -> Self {
+        assert!(ports > 0, "a GPU needs at least one scale-out port");
+        DegreeBudget {
+            ports,
+            total_bandwidth_gbps,
+        }
+    }
+
+    /// Statically allocates ports to the given axis demands and reports feasibility.
+    pub fn analyze(&self, demands: &[AxisDemand]) -> FeasibilityReport {
+        let per_axis: Vec<AxisAllocation> = demands
+            .iter()
+            .map(|d| {
+                let degree = d.required_degree();
+                AxisAllocation {
+                    demand: *d,
+                    ports_needed: degree,
+                    ring_feasible: Algorithm::Ring.fits_degree(d.group_size, degree.max(1)),
+                }
+            })
+            .collect();
+        let total_ports_needed: usize = per_axis.iter().map(|a| a.ports_needed).sum();
+        let feasible = total_ports_needed <= self.ports;
+        // C3: each scale-out axis only gets bandwidth proportional to its port share.
+        let bandwidth_per_axis_gbps = if demands.is_empty() || total_ports_needed == 0 {
+            self.total_bandwidth_gbps
+        } else {
+            self.total_bandwidth_gbps / self.ports as f64
+                * (self.ports as f64 / total_ports_needed.max(self.ports) as f64)
+                * per_axis
+                    .iter()
+                    .map(|a| a.ports_needed)
+                    .max()
+                    .unwrap_or(1)
+                    .min(self.ports) as f64
+        };
+        let fragmentation = if total_ports_needed == 0 {
+            1.0
+        } else {
+            (self.ports as f64 / total_ports_needed as f64).min(1.0)
+                * (per_axis.iter().map(|a| a.ports_needed).max().unwrap_or(1) as f64
+                    / self.ports as f64)
+                .min(1.0)
+        };
+        FeasibilityReport {
+            budget: *self,
+            per_axis,
+            total_ports_needed,
+            feasible,
+            bandwidth_fraction_per_axis: fragmentation,
+            bandwidth_per_axis_gbps,
+        }
+    }
+
+    /// The fraction of NIC bandwidth each axis receives if ports are split evenly
+    /// across `num_axes` scale-out axes with ring collectives (the paper's worked
+    /// example: 4-port NIC, DP and PP each take two ports, so each gets half the NIC).
+    pub fn even_split_fraction(&self, num_axes: usize) -> f64 {
+        if num_axes == 0 {
+            return 1.0;
+        }
+        let ports_per_axis = (self.ports / num_axes).max(1);
+        ports_per_axis as f64 / self.ports as f64
+    }
+}
+
+/// Result of allocating ports to one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxisAllocation {
+    /// The demand analyzed.
+    pub demand: AxisDemand,
+    /// Ports (simultaneous circuits) the axis needs.
+    pub ports_needed: usize,
+    /// Whether a ring can be formed at all.
+    pub ring_feasible: bool,
+}
+
+/// The outcome of a static port-allocation analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// The budget analyzed against.
+    pub budget: DegreeBudget,
+    /// Per-axis allocations.
+    pub per_axis: Vec<AxisAllocation>,
+    /// Sum of ports needed across axes.
+    pub total_ports_needed: usize,
+    /// True when the static allocation fits the port budget (C2 satisfied).
+    pub feasible: bool,
+    /// Fraction of the NIC bandwidth each axis receives under the static split (C3).
+    pub bandwidth_fraction_per_axis: f64,
+    /// Same, in Gbps.
+    pub bandwidth_per_axis_gbps: f64,
+}
+
+impl FeasibilityReport {
+    /// Axes that cannot be accommodated (require more ports than remain).
+    pub fn infeasible_axes(&self) -> Vec<ParallelismAxis> {
+        if self.feasible {
+            return Vec::new();
+        }
+        // Greedily admit axes in order until the budget is exhausted; the rest are the
+        // ones that do not fit.
+        let mut remaining = self.budget.ports as isize;
+        let mut rejected = Vec::new();
+        for alloc in &self.per_axis {
+            remaining -= alloc.ports_needed as isize;
+            if remaining < 0 {
+                rejected.push(alloc.demand.axis);
+            }
+        }
+        rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_dp_pp_on_4_port_nic() {
+        // §3: DGX H200, ConnectX-7 in 4-port mode, DP and PP share the scale-out rail.
+        // Each needs 2 ports for its ring, so the split works but each axis gets half
+        // the NIC bandwidth (C3), and adding CP would not fit (C2).
+        let budget = DegreeBudget::new(4, 400.0);
+        let report = budget.analyze(&[
+            AxisDemand::ring(ParallelismAxis::Data, 8),
+            AxisDemand::ring(ParallelismAxis::Pipeline, 8),
+        ]);
+        assert!(report.feasible);
+        assert_eq!(report.total_ports_needed, 4);
+        assert!((budget.even_split_fraction(2) - 0.5).abs() < 1e-9);
+
+        let with_cp = budget.analyze(&[
+            AxisDemand::ring(ParallelismAxis::Data, 8),
+            AxisDemand::ring(ParallelismAxis::Pipeline, 8),
+            AxisDemand::ring(ParallelismAxis::Context, 8),
+        ]);
+        assert!(!with_cp.feasible, "adding CP must exceed the 4-port budget");
+        assert_eq!(with_cp.infeasible_axes(), vec![ParallelismAxis::Context]);
+    }
+
+    #[test]
+    fn single_axis_uses_whole_nic() {
+        let budget = DegreeBudget::new(2, 400.0);
+        let report = budget.analyze(&[AxisDemand::ring(ParallelismAxis::Data, 16)]);
+        assert!(report.feasible);
+        assert_eq!(report.total_ports_needed, 2);
+        assert!((budget.even_split_fraction(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_rank_groups_need_one_port() {
+        let d = AxisDemand::ring(ParallelismAxis::Pipeline, 2);
+        assert_eq!(d.required_degree(), 1);
+        let budget = DegreeBudget::new(2, 400.0);
+        let report = budget.analyze(&[
+            AxisDemand::ring(ParallelismAxis::Data, 2),
+            AxisDemand::ring(ParallelismAxis::Pipeline, 2),
+        ]);
+        assert!(report.feasible);
+        assert_eq!(report.total_ports_needed, 2);
+    }
+
+    #[test]
+    fn tree_algorithms_blow_the_port_budget() {
+        // C1: a latency-optimized tree AllReduce needs more simultaneous neighbors than
+        // any realistic NIC port count provides.
+        let budget = DegreeBudget::new(4, 400.0);
+        let report = budget.analyze(&[AxisDemand {
+            axis: ParallelismAxis::Data,
+            group_size: 64,
+            algorithm: Algorithm::DoubleBinaryTree,
+        }]);
+        assert!(!report.feasible);
+    }
+
+    #[test]
+    fn empty_demands_are_trivially_feasible() {
+        let budget = DegreeBudget::new(2, 400.0);
+        let report = budget.analyze(&[]);
+        assert!(report.feasible);
+        assert_eq!(report.total_ports_needed, 0);
+        assert!(report.infeasible_axes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scale-out port")]
+    fn zero_port_budget_rejected() {
+        let _ = DegreeBudget::new(0, 400.0);
+    }
+}

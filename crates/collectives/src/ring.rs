@@ -1,0 +1,98 @@
+//! Ring construction helpers.
+//!
+//! Photonic rails physically form rings: a group's ranks on one rail are connected by a
+//! cycle of circuits, each GPU holding a circuit to its predecessor and successor.
+//! These helpers turn an ordered list of ranks into the neighbor pairs the Opus
+//! controller must realize as circuits.
+
+use railsim_topology::GpuId;
+
+/// The unordered neighbor pairs of the ring over `ranks` (in the given order), with
+/// wrap-around.
+///
+/// * 0 or 1 rank: no pairs.
+/// * 2 ranks: a single pair.
+/// * `p >= 3`: `p` pairs forming a cycle.
+pub fn ring_neighbor_pairs(ranks: &[GpuId]) -> Vec<(GpuId, GpuId)> {
+    match ranks.len() {
+        0 | 1 => Vec::new(),
+        2 => vec![(ranks[0], ranks[1])],
+        n => (0..n).map(|i| (ranks[i], ranks[(i + 1) % n])).collect(),
+    }
+}
+
+/// The unordered pairs of a chain (no wrap-around) over `ranks`, used for pipeline
+/// stages where stage `i` only ever talks to stages `i ± 1`.
+pub fn chain_neighbor_pairs(ranks: &[GpuId]) -> Vec<(GpuId, GpuId)> {
+    if ranks.len() < 2 {
+        return Vec::new();
+    }
+    ranks.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Number of simultaneous circuits each member of a ring of size `p` must hold.
+pub fn ring_degree(p: usize) -> usize {
+    match p {
+        0 | 1 => 0,
+        2 => 1,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus(ids: &[u32]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    #[test]
+    fn ring_pairs_wrap_around() {
+        let pairs = ring_neighbor_pairs(&gpus(&[0, 4, 8, 12]));
+        assert_eq!(
+            pairs,
+            vec![
+                (GpuId(0), GpuId(4)),
+                (GpuId(4), GpuId(8)),
+                (GpuId(8), GpuId(12)),
+                (GpuId(12), GpuId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_rank_ring_is_one_pair() {
+        assert_eq!(ring_neighbor_pairs(&gpus(&[3, 7])), vec![(GpuId(3), GpuId(7))]);
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        assert!(ring_neighbor_pairs(&gpus(&[5])).is_empty());
+        assert!(ring_neighbor_pairs(&gpus(&[])).is_empty());
+    }
+
+    #[test]
+    fn chain_has_no_wrap_around() {
+        let pairs = chain_neighbor_pairs(&gpus(&[0, 8, 16]));
+        assert_eq!(pairs, vec![(GpuId(0), GpuId(8)), (GpuId(8), GpuId(16))]);
+    }
+
+    #[test]
+    fn ring_degree_by_size() {
+        assert_eq!(ring_degree(0), 0);
+        assert_eq!(ring_degree(1), 0);
+        assert_eq!(ring_degree(2), 1);
+        assert_eq!(ring_degree(8), 2);
+    }
+
+    #[test]
+    fn every_rank_appears_in_exactly_two_pairs_in_large_rings() {
+        let ranks = gpus(&[1, 2, 3, 4, 5]);
+        let pairs = ring_neighbor_pairs(&ranks);
+        for r in &ranks {
+            let count = pairs.iter().filter(|(a, b)| a == r || b == r).count();
+            assert_eq!(count, 2);
+        }
+    }
+}

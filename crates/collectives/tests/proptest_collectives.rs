@@ -1,0 +1,112 @@
+//! Property-based tests for the collectives crate: cost-model sanity across the whole
+//! parameter space, ring structure invariants and degree accounting.
+
+use proptest::prelude::*;
+use railsim_collectives::{
+    cost::{collective_time, step_count, traffic_factor, CostParams},
+    ring::{chain_neighbor_pairs, ring_degree, ring_neighbor_pairs},
+    Algorithm, CollectiveKind, CommGroup, GroupId, ParallelismAxis,
+};
+use railsim_sim::{Bandwidth, Bytes, SimDuration};
+use railsim_topology::GpuId;
+
+fn any_kind() -> impl Strategy<Value = CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::AllReduce),
+        Just(CollectiveKind::AllGather),
+        Just(CollectiveKind::ReduceScatter),
+        Just(CollectiveKind::AllToAll),
+        Just(CollectiveKind::Broadcast),
+        Just(CollectiveKind::SendRecv),
+        Just(CollectiveKind::Barrier),
+    ]
+}
+
+fn any_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Ring),
+        Just(Algorithm::DoubleBinaryTree),
+        Just(Algorithm::HalvingDoubling),
+        Just(Algorithm::Direct),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn collective_time_is_finite_and_nonnegative(
+        kind in any_kind(),
+        algo in any_algorithm(),
+        p in 1usize..2048,
+        mb in 0u64..100_000,
+        alpha_us in 0u64..1_000,
+        gbps in 1.0f64..1600.0,
+    ) {
+        let params = CostParams::new(SimDuration::from_micros(alpha_us), Bandwidth::from_gbps(gbps));
+        let t = collective_time(kind, algo, p, Bytes::from_mb(mb), &params);
+        prop_assert!(t < SimDuration::from_secs(100_000), "{kind}/{algo} produced an absurd time {t}");
+        if p <= 1 {
+            prop_assert_eq!(t, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn collective_time_is_monotone_in_group_size_for_rings(
+        kind in prop_oneof![Just(CollectiveKind::AllReduce), Just(CollectiveKind::AllGather)],
+        p in 2usize..512,
+        mb in 1u64..2_000,
+    ) {
+        let params = CostParams::new(SimDuration::from_micros(10), Bandwidth::from_gbps(400.0));
+        let t1 = collective_time(kind, Algorithm::Ring, p, Bytes::from_mb(mb), &params);
+        let t2 = collective_time(kind, Algorithm::Ring, p + 1, Bytes::from_mb(mb), &params);
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn steps_and_traffic_factors_are_sane(kind in any_kind(), algo in any_algorithm(), p in 2usize..2048) {
+        let steps = step_count(kind, algo, p);
+        let factor = traffic_factor(kind, algo, p);
+        prop_assert!(steps >= 1 || kind == CollectiveKind::Barrier);
+        prop_assert!((0.0..=2.5).contains(&factor), "traffic factor {factor} out of range");
+    }
+
+    #[test]
+    fn ring_pairs_cover_every_member_with_degree_at_most_two(ids in proptest::collection::hash_set(0u32..1000, 0..64)) {
+        let ranks: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+        let pairs = ring_neighbor_pairs(&ranks);
+        let expected_pairs = match ranks.len() {
+            0 | 1 => 0,
+            2 => 1,
+            n => n,
+        };
+        prop_assert_eq!(pairs.len(), expected_pairs);
+        for rank in &ranks {
+            let degree = pairs.iter().filter(|(a, b)| a == rank || b == rank).count();
+            prop_assert!(degree <= 2);
+            prop_assert_eq!(degree, if ranks.len() < 2 { 0 } else { ring_degree(ranks.len()).min(2) });
+        }
+        // A chain has exactly one fewer pair than a ring (for n >= 3).
+        if ranks.len() >= 3 {
+            prop_assert_eq!(chain_neighbor_pairs(&ranks).len() + 1, pairs.len());
+        }
+    }
+
+    #[test]
+    fn group_ring_neighbors_are_members(ids in proptest::collection::hash_set(0u32..1000, 2..32)) {
+        let ranks: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+        let group = CommGroup::new(GroupId(0), ParallelismAxis::Data, ranks.clone());
+        for &rank in &ranks {
+            let (prev, next) = group.ring_neighbors(rank).expect("member of a non-trivial group");
+            prop_assert!(group.contains(prev) && group.contains(next));
+            prop_assert!(prev != rank || ranks.len() == 1);
+        }
+    }
+
+    #[test]
+    fn required_degree_never_exceeds_group_size_minus_one(algo in any_algorithm(), p in 1usize..4096) {
+        let d = algo.required_degree(p);
+        prop_assert!(d <= p.saturating_sub(1));
+        prop_assert!(algo.fits_degree(p, p.saturating_sub(1)) || p <= 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Circuit planning: turning a communication group into per-rail circuit configurations.
+//!
+//! Photonic rails realize a group's collective as a ring of optical circuits. The
+//! planner maps the ring's neighbor pairs onto the cluster:
+//!
+//! * a pair inside one scale-up domain needs no circuit (NVLink carries it),
+//! * a pair of same-rank GPUs in different domains becomes a circuit on their rail,
+//! * a pair that differs in both node and rank is reached through PXN forwarding: the
+//!   scale-out leg runs on the *destination's* rail between the intermediate GPU (the
+//!   sender's node-mate with the destination's rank) and the destination.
+//!
+//! Each GPU only has a limited number of logical NIC ports; the planner assigns ports
+//! round-robin and, when the ring degree exceeds the port budget, drops the
+//! wrap-around pair (turning the ring into a chain) rather than failing — the paper's
+//! C1/C3 discussion notes exactly this degradation.
+
+use railsim_collectives::{ring::ring_neighbor_pairs, CommGroup};
+use railsim_topology::{Circuit, CircuitConfig, Cluster, CommPath, GpuId, PathKind, PortId, RailId};
+use std::collections::{BTreeMap, HashMap};
+
+/// The per-rail circuit demand of one communication group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCircuits {
+    /// Circuit configuration per rail (only rails that carry traffic appear).
+    pub per_rail: BTreeMap<RailId, CircuitConfig>,
+    /// Ring pairs that could not be realized because the port budget was exhausted
+    /// (the ring degrades to a chain).
+    pub dropped_pairs: usize,
+    /// Ring pairs carried entirely inside a scale-up domain (no circuit needed).
+    pub scaleup_pairs: usize,
+}
+
+impl GroupCircuits {
+    /// True when the group needs no scale-out circuits at all (e.g. a TP group confined
+    /// to one node).
+    pub fn is_scaleup_only(&self) -> bool {
+        self.per_rail.is_empty()
+    }
+
+    /// Total number of circuits across all rails.
+    pub fn total_circuits(&self) -> usize {
+        self.per_rail.values().map(|c| c.len()).sum()
+    }
+
+    /// The rails this group needs.
+    pub fn rails(&self) -> Vec<RailId> {
+        self.per_rail.keys().copied().collect()
+    }
+}
+
+/// Plans circuits for communication groups on a concrete cluster.
+#[derive(Debug, Clone)]
+pub struct CircuitPlanner {
+    ports_per_gpu: u8,
+}
+
+impl CircuitPlanner {
+    /// Creates a planner for the given cluster.
+    pub fn for_cluster(cluster: &Cluster) -> Self {
+        CircuitPlanner {
+            ports_per_gpu: cluster.ports_per_gpu(),
+        }
+    }
+
+    /// Plans the per-rail circuits realizing `group`'s ring on `cluster`.
+    pub fn plan(&self, cluster: &Cluster, group: &CommGroup) -> GroupCircuits {
+        let mut per_rail_pairs: BTreeMap<RailId, Vec<(GpuId, GpuId)>> = BTreeMap::new();
+        let mut scaleup_pairs = 0usize;
+
+        for (a, b) in ring_neighbor_pairs(&group.ranks) {
+            let path = CommPath::between(cluster, a, b);
+            match path.kind {
+                PathKind::IntraNode => scaleup_pairs += 1,
+                PathKind::SameRail { rail } => {
+                    per_rail_pairs.entry(rail).or_default().push((a, b));
+                }
+                PathKind::PxnForward { via, rail } => {
+                    // The scale-out leg runs between the PXN intermediate and the
+                    // destination, on the destination's rail.
+                    per_rail_pairs.entry(rail).or_default().push((via, b));
+                }
+            }
+        }
+
+        let mut per_rail = BTreeMap::new();
+        let mut dropped_pairs = 0usize;
+        for (rail, pairs) in per_rail_pairs {
+            // Assign ports round-robin per GPU within this rail's configuration.
+            let mut next_port: HashMap<GpuId, u8> = HashMap::new();
+            let mut circuits = Vec::new();
+            for (a, b) in pairs {
+                let pa = *next_port.entry(a).or_insert(0);
+                let pb = *next_port.entry(b).or_insert(0);
+                if pa >= self.ports_per_gpu || pb >= self.ports_per_gpu {
+                    // Out of ports: degrade the ring to a chain by dropping this pair.
+                    dropped_pairs += 1;
+                    continue;
+                }
+                circuits.push(Circuit::new(PortId::new(a, pa), PortId::new(b, pb)));
+                *next_port.get_mut(&a).expect("just inserted") += 1;
+                *next_port.get_mut(&b).expect("just inserted") += 1;
+            }
+            if !circuits.is_empty() {
+                let config = CircuitConfig::new(circuits)
+                    .expect("round-robin port assignment cannot reuse a port");
+                per_rail.insert(rail, config);
+            }
+        }
+
+        GroupCircuits {
+            per_rail,
+            dropped_pairs,
+            scaleup_pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use railsim_collectives::{GroupId, ParallelismAxis};
+    use railsim_topology::{ClusterSpec, NicConfig, NodePreset};
+
+    fn cluster() -> Cluster {
+        // 4 Perlmutter nodes x 4 GPUs, single-port NICs.
+        ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build()
+    }
+
+    fn group(axis: ParallelismAxis, ranks: &[u32]) -> CommGroup {
+        CommGroup::new(GroupId(0), axis, ranks.iter().map(|&r| GpuId(r)).collect())
+    }
+
+    #[test]
+    fn tp_group_needs_no_circuits() {
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let tp = group(ParallelismAxis::Tensor, &[0, 1, 2, 3]);
+        let plan = planner.plan(&c, &tp);
+        assert!(plan.is_scaleup_only());
+        assert_eq!(plan.scaleup_pairs, 4);
+        assert_eq!(plan.total_circuits(), 0);
+    }
+
+    #[test]
+    fn dp_pair_becomes_one_rail_circuit() {
+        // DP group {0, 4}: same local rank 0 in nodes 0 and 1 -> one circuit on rail 0.
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let dp = group(ParallelismAxis::Data, &[0, 4]);
+        let plan = planner.plan(&c, &dp);
+        assert_eq!(plan.rails(), vec![RailId(0)]);
+        assert_eq!(plan.total_circuits(), 1);
+        let cfg = &plan.per_rail[&RailId(0)];
+        assert!(cfg.connects_gpus(GpuId(0), GpuId(4)));
+    }
+
+    #[test]
+    fn four_member_rail_group_forms_a_ring() {
+        // All of rail 1: {1, 5, 9, 13} -> a 4-circuit ring, but single-port NICs can
+        // only terminate one circuit per GPU, so two pairs are dropped (chain of 2).
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let g = group(ParallelismAxis::Data, &[1, 5, 9, 13]);
+        let plan = planner.plan(&c, &g);
+        assert_eq!(plan.rails(), vec![RailId(1)]);
+        assert_eq!(plan.total_circuits() + plan.dropped_pairs, 4);
+        assert!(plan.dropped_pairs > 0, "single-port NICs cannot hold a full 4-ring");
+    }
+
+    #[test]
+    fn two_port_nics_hold_the_full_ring() {
+        let spec = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4)
+            .with_nic(NicConfig::slingshot11_dual());
+        let c = spec.build();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let g = group(ParallelismAxis::Data, &[1, 5, 9, 13]);
+        let plan = planner.plan(&c, &g);
+        assert_eq!(plan.total_circuits(), 4);
+        assert_eq!(plan.dropped_pairs, 0);
+    }
+
+    #[test]
+    fn cross_rail_group_uses_pxn_forwarding() {
+        // Group {0, 5}: node 0 rank 0 and node 1 rank 1. The scale-out leg lands on
+        // rail 1 between GPU 1 (the PXN intermediate in node 0) and GPU 5.
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let g = group(ParallelismAxis::Expert, &[0, 5]);
+        let plan = planner.plan(&c, &g);
+        assert_eq!(plan.rails(), vec![RailId(1)]);
+        let cfg = &plan.per_rail[&RailId(1)];
+        assert!(cfg.connects_gpus(GpuId(1), GpuId(5)));
+    }
+
+    #[test]
+    fn pipeline_pair_on_each_rail() {
+        // PP group {2, 10}: rank 2 in node 0 and node 2 -> rail 2 circuit.
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let g = group(ParallelismAxis::Pipeline, &[2, 10]);
+        let plan = planner.plan(&c, &g);
+        assert_eq!(plan.rails(), vec![RailId(2)]);
+        assert_eq!(plan.total_circuits(), 1);
+    }
+
+    #[test]
+    fn trivial_group_plans_nothing() {
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let g = group(ParallelismAxis::Data, &[3]);
+        let plan = planner.plan(&c, &g);
+        assert!(plan.is_scaleup_only());
+        assert_eq!(plan.scaleup_pairs, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Opus configuration.
+
+use railsim_collectives::Algorithm;
+use railsim_sim::{Bandwidth, Bytes, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Offloading of small, bursty collectives to the host's packet-switched network.
+///
+/// §5 of the paper suggests that the short synchronization AllReduces toward the end of
+/// an iteration — high fan-in, tiny payloads, issued in quick succession along both DP
+/// and PP — are a poor fit for circuit switching and "could be off-loaded to the
+/// host-based packet switched network". When enabled, scale-out collectives no larger
+/// than `threshold` bypass the optical rails entirely and run over the (slower, but
+/// always-connected) host network, avoiding reconfigurations that would otherwise be
+/// triggered purely by sub-megabyte traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostOffload {
+    /// Collectives moving at most this many bytes are offloaded.
+    pub threshold: Bytes,
+    /// Bandwidth of the host packet-switched network (per node).
+    pub bandwidth: Bandwidth,
+    /// Per-step latency on the host network (kernel + TCP/RDMA stack + switch hops).
+    pub alpha: SimDuration,
+}
+
+impl HostOffload {
+    /// A typical host frontend network: 100 Gbps with ~50 µs per-step latency, used for
+    /// collectives of at most 1 MB.
+    pub fn frontend_100g() -> Self {
+        HostOffload {
+            threshold: Bytes::from_mb(1),
+            bandwidth: Bandwidth::from_gbps(100.0),
+            alpha: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// How the scale-out rail network is realized and controlled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigPolicy {
+    /// Electrical packet-switched rails: full connectivity, no reconfiguration.
+    /// This is the paper's baseline (the `latency = 0` point of Fig. 8).
+    Electrical,
+    /// Photonic rails with on-demand reconfiguration: the shim requests circuits when a
+    /// collective is issued, so the reconfiguration delay sits on the critical path
+    /// ("without provisioning" in Fig. 8).
+    OnDemand,
+    /// Photonic rails with provisioning: after the first (profiling) iteration the shim
+    /// issues speculative requests as soon as the previous traffic on the affected
+    /// circuits completes, hiding the delay inside the inter-parallelism window
+    /// ("with provisioning" in Fig. 8).
+    Provisioned,
+}
+
+impl ReconfigPolicy {
+    /// True when this policy uses optical circuit switches.
+    pub fn is_optical(self) -> bool {
+        !matches!(self, ReconfigPolicy::Electrical)
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReconfigPolicy::Electrical => "electrical baseline",
+            ReconfigPolicy::OnDemand => "optical, without provisioning",
+            ReconfigPolicy::Provisioned => "optical, with provisioning",
+        }
+    }
+}
+
+/// Configuration of one Opus simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpusConfig {
+    /// The control policy (electrical baseline, on-demand, or provisioned optical).
+    pub policy: ReconfigPolicy,
+    /// OCS reconfiguration latency (ignored by the electrical baseline).
+    pub reconfig_latency: SimDuration,
+    /// Per-step latency of scale-out collectives (NIC + propagation).
+    pub scaleout_alpha: SimDuration,
+    /// Per-step latency of scale-up collectives (NVLink-domain kernel launch).
+    pub scaleup_alpha: SimDuration,
+    /// The collective algorithm used on the scale-out network. Rings are the only
+    /// option that fits the photonic degree constraint (C1); the electrical baseline
+    /// may use any algorithm.
+    pub scaleout_algorithm: Algorithm,
+    /// Number of training iterations to simulate. Provisioning only becomes active
+    /// after the first (profiling) iteration, so Fig. 8 style experiments should run at
+    /// least two.
+    pub iterations: u32,
+    /// Multiplicative jitter amplitude applied to compute-task durations, so that
+    /// repeated iterations produce a distribution of window sizes rather than a single
+    /// point (the paper's Fig. 4 aggregates 10 measured iterations).
+    pub compute_jitter: f64,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+    /// Optional offload of small collectives to the host packet-switched network (§5).
+    pub host_offload: Option<HostOffload>,
+}
+
+impl OpusConfig {
+    /// The electrical-baseline configuration.
+    pub fn electrical() -> Self {
+        OpusConfig {
+            policy: ReconfigPolicy::Electrical,
+            reconfig_latency: SimDuration::ZERO,
+            ..Self::default_optical(SimDuration::ZERO)
+        }
+    }
+
+    /// An optical configuration with on-demand reconfiguration.
+    pub fn on_demand(reconfig_latency: SimDuration) -> Self {
+        OpusConfig {
+            policy: ReconfigPolicy::OnDemand,
+            ..Self::default_optical(reconfig_latency)
+        }
+    }
+
+    /// An optical configuration with provisioning.
+    pub fn provisioned(reconfig_latency: SimDuration) -> Self {
+        OpusConfig {
+            policy: ReconfigPolicy::Provisioned,
+            ..Self::default_optical(reconfig_latency)
+        }
+    }
+
+    fn default_optical(reconfig_latency: SimDuration) -> Self {
+        OpusConfig {
+            policy: ReconfigPolicy::OnDemand,
+            reconfig_latency,
+            scaleout_alpha: SimDuration::from_micros(10),
+            scaleup_alpha: SimDuration::from_micros(3),
+            scaleout_algorithm: Algorithm::Ring,
+            iterations: 2,
+            compute_jitter: 0.03,
+            seed: 7,
+            host_offload: None,
+        }
+    }
+
+    /// Enables offloading of small collectives to the host network (§5).
+    pub fn with_host_offload(mut self, offload: HostOffload) -> Self {
+        self.host_offload = Some(offload);
+        self
+    }
+
+    /// Overrides the number of iterations.
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        assert!(iterations > 0, "must simulate at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the jitter amplitude and seed.
+    pub fn with_jitter(mut self, amplitude: f64, seed: u64) -> Self {
+        self.compute_jitter = amplitude;
+        self.seed = seed;
+        self
+    }
+
+    /// True when provisioning is active for the given iteration index (the first
+    /// iteration always profiles).
+    pub fn provisioning_active(&self, iteration: u32) -> bool {
+        self.policy == ReconfigPolicy::Provisioned && iteration >= 1
+    }
+}
+
+/// A marker for "the beginning of time" used when backdating provisioned requests.
+pub const EPOCH: SimTime = SimTime::ZERO;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_policy() {
+        assert_eq!(OpusConfig::electrical().policy, ReconfigPolicy::Electrical);
+        assert_eq!(
+            OpusConfig::on_demand(SimDuration::from_millis(25)).policy,
+            ReconfigPolicy::OnDemand
+        );
+        assert_eq!(
+            OpusConfig::provisioned(SimDuration::from_millis(25)).policy,
+            ReconfigPolicy::Provisioned
+        );
+    }
+
+    #[test]
+    fn provisioning_needs_a_profiling_iteration() {
+        let cfg = OpusConfig::provisioned(SimDuration::from_millis(15));
+        assert!(!cfg.provisioning_active(0));
+        assert!(cfg.provisioning_active(1));
+        let on_demand = OpusConfig::on_demand(SimDuration::from_millis(15));
+        assert!(!on_demand.provisioning_active(5));
+    }
+
+    #[test]
+    fn policy_properties() {
+        assert!(!ReconfigPolicy::Electrical.is_optical());
+        assert!(ReconfigPolicy::OnDemand.is_optical());
+        assert!(ReconfigPolicy::Provisioned.is_optical());
+        assert!(ReconfigPolicy::Provisioned.name().contains("with provisioning"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = OpusConfig::electrical().with_iterations(0);
+    }
+
+    #[test]
+    fn host_offload_is_opt_in() {
+        let base = OpusConfig::provisioned(SimDuration::from_millis(25));
+        assert!(base.host_offload.is_none());
+        let with = base.with_host_offload(HostOffload::frontend_100g());
+        assert_eq!(with.host_offload.unwrap().threshold, Bytes::from_mb(1));
+        assert!(with.host_offload.unwrap().bandwidth.as_gbps() < 400.0);
+    }
+}

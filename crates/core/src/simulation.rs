@@ -1,0 +1,740 @@
+//! The end-to-end training-iteration simulator.
+//!
+//! [`OpusSimulator`] executes a [`TrainingDag`] over a concrete cluster under one of
+//! three network policies (electrical baseline, optical on-demand, optical with
+//! provisioning) and reports per-iteration timings, communication records and
+//! reconfiguration events. It is the engine behind Fig. 3 (per-rail communication
+//! timelines), Fig. 4 (window statistics) and Fig. 8 (iteration time vs.
+//! reconfiguration latency).
+//!
+//! ## How a communication task executes
+//!
+//! 1. The task becomes *group-ready* when every participant's prerequisites are done
+//!    (the paper's `T_comm_start` — the slowest rank has joined).
+//! 2. Its circuit demand is looked up in the [`GroupTable`]. Scale-up traffic (TP) and
+//!    the electrical baseline skip straight to the transfer.
+//! 3. On photonic rails the shim asks the controller for the group's circuits. If the
+//!    demand matrix did not change the request is free; otherwise the controller waits
+//!    for conflicting traffic to drain, reconfigures the OCS, and the transfer starts
+//!    once the circuits settle. With provisioning the request is back-dated to the
+//!    moment the affected circuits went idle, hiding the switching delay inside the
+//!    inter-parallelism window.
+//! 4. The transfer's duration comes from the α–β collective cost model; its ports are
+//!    marked busy until it completes.
+
+use crate::circuits::{CircuitPlanner, GroupCircuits};
+use crate::config::{OpusConfig, ReconfigPolicy};
+use crate::controller::OpusController;
+use crate::group_table::GroupTable;
+use crate::metrics::{CommRecord, IterationResult, SimulationResult};
+use crate::shim::OpusShim;
+use railsim_collectives::{
+    cost::{collective_time, CostParams},
+    CollectiveKind, CommGroup, GroupId, ParallelismAxis,
+};
+use railsim_sim::{Engine, SimDuration, SimRng, SimTime};
+use railsim_topology::{
+    Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity,
+};
+use railsim_workload::{TaskId, TaskKind, TrainingDag};
+use std::collections::HashMap;
+
+/// Events of the DAG-execution discrete-event simulation.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// All dependencies of the task have completed.
+    Ready(TaskId),
+    /// The task has finished executing.
+    Done(TaskId),
+}
+
+/// The network backend the simulator drives.
+enum Backend {
+    Electrical(ElectricalRailFabric),
+    Optical(Box<OpusController>),
+}
+
+/// The end-to-end simulator.
+pub struct OpusSimulator {
+    cluster: Cluster,
+    dag: TrainingDag,
+    config: OpusConfig,
+    group_table: GroupTable,
+    /// Circuit demand per communication task (collectives and point-to-point).
+    task_circuits: HashMap<TaskId, (GroupId, GroupCircuits)>,
+    dependents: Vec<Vec<u32>>,
+    backend: Backend,
+    shim: OpusShim,
+    rng: SimRng,
+}
+
+impl OpusSimulator {
+    /// Creates a simulator for one DAG on one cluster under one configuration.
+    ///
+    /// # Panics
+    /// Panics if the DAG is invalid or references ranks outside the cluster.
+    pub fn new(cluster: Cluster, dag: TrainingDag, config: OpusConfig) -> Self {
+        dag.validate().expect("training DAG must be valid");
+        let max_rank = dag
+            .tasks
+            .iter()
+            .flat_map(|t| t.participants.iter())
+            .map(|g| g.0)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_rank < cluster.num_gpus(),
+            "DAG references rank {max_rank} but the cluster only has {} GPUs",
+            cluster.num_gpus()
+        );
+
+        let group_table = GroupTable::build(&cluster, dag.groups.values());
+        let planner = CircuitPlanner::for_cluster(&cluster);
+        let task_circuits = Self::plan_task_circuits(&cluster, &dag, &group_table, &planner);
+        let dependents = Self::build_dependents(&dag);
+
+        let backend = if config.policy.is_optical() {
+            let fabric = OpticalRailFabric::for_cluster(&cluster, config.reconfig_latency);
+            Backend::Optical(Box::new(OpusController::new(fabric)))
+        } else {
+            Backend::Electrical(ElectricalRailFabric::for_cluster(&cluster))
+        };
+
+        let rng = SimRng::new(config.seed);
+        OpusSimulator {
+            cluster,
+            dag,
+            config,
+            group_table,
+            task_circuits,
+            dependents,
+            backend,
+            shim: OpusShim::new(),
+            rng,
+        }
+    }
+
+    /// The group table (communication groups and their planned circuits).
+    pub fn group_table(&self) -> &GroupTable {
+        &self.group_table
+    }
+
+    /// The shim (and its profile, once at least one iteration has run).
+    pub fn shim(&self) -> &OpusShim {
+        &self.shim
+    }
+
+    /// The controller, when running an optical policy.
+    pub fn controller(&self) -> Option<&OpusController> {
+        match &self.backend {
+            Backend::Optical(c) => Some(c),
+            Backend::Electrical(_) => None,
+        }
+    }
+
+    fn build_dependents(dag: &TrainingDag) -> Vec<Vec<u32>> {
+        let mut dependents = vec![Vec::new(); dag.tasks.len()];
+        for task in &dag.tasks {
+            for dep in &task.deps {
+                dependents[dep.0 as usize].push(task.id.0);
+            }
+        }
+        dependents
+    }
+
+    fn plan_task_circuits(
+        cluster: &Cluster,
+        dag: &TrainingDag,
+        table: &GroupTable,
+        planner: &CircuitPlanner,
+    ) -> HashMap<TaskId, (GroupId, GroupCircuits)> {
+        let mut out = HashMap::new();
+        for task in dag.communication_tasks() {
+            match &task.kind {
+                TaskKind::Collective { group, .. } => {
+                    let circuits = table
+                        .circuits(*group)
+                        .expect("collective group must be registered")
+                        .clone();
+                    out.insert(task.id, (*group, circuits));
+                }
+                TaskKind::PointToPoint { src, dst, axis, .. } => {
+                    // A point-to-point transfer uses the circuits of the communication
+                    // group it belongs to (circuit allocation is per group, §5): find
+                    // the group on the same axis containing both endpoints, or fall
+                    // back to planning an ad-hoc pair.
+                    let group = dag
+                        .groups
+                        .values()
+                        .find(|g| g.axis == *axis && g.contains(*src) && g.contains(*dst));
+                    match group {
+                        Some(g) => {
+                            let circuits = table
+                                .circuits(g.id)
+                                .expect("p2p group must be registered")
+                                .clone();
+                            out.insert(task.id, (g.id, circuits));
+                        }
+                        None => {
+                            let pseudo = CommGroup::new(
+                                GroupId(u32::MAX - task.id.0),
+                                *axis,
+                                vec![*src, *dst],
+                            );
+                            let circuits = planner.plan(cluster, &pseudo);
+                            out.insert(task.id, (pseudo.id, circuits));
+                        }
+                    }
+                }
+                TaskKind::Compute { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Runs the configured number of iterations and returns all results.
+    pub fn run(&mut self) -> SimulationResult {
+        let mut iterations = Vec::new();
+        let mut clock = SimTime::ZERO;
+        for iteration in 0..self.config.iterations {
+            let (result, end) = self.run_iteration(iteration, clock);
+            clock = end;
+            iterations.push(result);
+            if iteration == 0 {
+                self.shim.finish_profiling();
+            }
+        }
+        SimulationResult { iterations }
+    }
+
+    fn scaleout_params(&self) -> CostParams {
+        // The paper's Fig. 8 assumes equal bandwidth on electrical and optical rails,
+        // so both policies see the full NIC bandwidth once connectivity exists.
+        CostParams::new(
+            self.config.scaleout_alpha,
+            self.cluster.spec().nic.total_bandwidth,
+        )
+    }
+
+    fn scaleup_params(&self) -> CostParams {
+        CostParams::new(self.config.scaleup_alpha, self.cluster.scaleup_bandwidth())
+    }
+
+    fn run_iteration(&mut self, iteration: u32, start: SimTime) -> (IterationResult, SimTime) {
+        let n = self.dag.tasks.len();
+        let mut remaining: Vec<usize> = self.dag.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut finish: Vec<SimTime> = vec![SimTime::ZERO; n];
+        let mut comm_records: Vec<CommRecord> = Vec::new();
+        let mut total_circuit_wait = SimDuration::ZERO;
+
+        let mut engine: Engine<SimEvent> = Engine::new();
+        for task in &self.dag.tasks {
+            if task.deps.is_empty() {
+                engine.schedule_at(start, SimEvent::Ready(task.id));
+            }
+        }
+
+        // The handler closure cannot borrow `self` mutably while the engine is
+        // borrowed, so the loop is driven manually.
+        while let Some((now, event)) = engine.pop() {
+            match event {
+                SimEvent::Ready(id) => {
+                    let (end, record) = self.execute_task(id, now, iteration);
+                    finish[id.0 as usize] = end;
+                    if let Some(rec) = record {
+                        total_circuit_wait = total_circuit_wait.saturating_add(rec.circuit_wait);
+                        comm_records.push(rec);
+                    }
+                    engine.schedule_at(end, SimEvent::Done(id));
+                }
+                SimEvent::Done(id) => {
+                    for &dep_idx in &self.dependents[id.0 as usize] {
+                        let slot = &mut remaining[dep_idx as usize];
+                        debug_assert!(*slot > 0, "dependency counter underflow");
+                        *slot -= 1;
+                        if *slot == 0 {
+                            engine.schedule_at(now, SimEvent::Ready(TaskId(dep_idx)));
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            remaining.iter().all(|&r| r == 0),
+            "every task must have executed"
+        );
+        let end = finish.iter().copied().max().unwrap_or(start).max(start);
+        comm_records.sort_by_key(|r| (r.issued_at, r.task));
+        let reconfig_events = match &mut self.backend {
+            Backend::Optical(c) => c.take_events(),
+            Backend::Electrical(_) => Vec::new(),
+        };
+        let result = IterationResult {
+            iteration,
+            iteration_time: end.duration_since(start),
+            started_at: start,
+            comm_records,
+            reconfig_events,
+            total_circuit_wait,
+        };
+        (result, end)
+    }
+
+    /// Executes one task that became ready at `now`; returns its end time and, for
+    /// communication tasks, the record describing what happened.
+    fn execute_task(
+        &mut self,
+        id: TaskId,
+        now: SimTime,
+        iteration: u32,
+    ) -> (SimTime, Option<CommRecord>) {
+        let task = &self.dag.tasks[id.0 as usize];
+        let kind = task.kind.clone();
+        let label = task.label.clone();
+        let participants = task.participants.clone();
+        match kind {
+            TaskKind::Compute { duration } => {
+                let jitter = self.rng.jitter(self.config.compute_jitter);
+                (now + duration.mul_f64(jitter), None)
+            }
+            TaskKind::Collective {
+                group,
+                kind,
+                axis,
+                bytes,
+            } => {
+                let size = self.dag.group(group).size();
+                let record = self.execute_comm(
+                    id,
+                    now,
+                    iteration,
+                    kind,
+                    axis,
+                    bytes,
+                    size,
+                    Some(group),
+                    label,
+                    participants,
+                );
+                (record.end, Some(record))
+            }
+            TaskKind::PointToPoint { axis, bytes, .. } => {
+                let record = self.execute_comm(
+                    id,
+                    now,
+                    iteration,
+                    CollectiveKind::SendRecv,
+                    axis,
+                    bytes,
+                    2,
+                    None,
+                    label,
+                    participants,
+                );
+                (record.end, Some(record))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_comm(
+        &mut self,
+        id: TaskId,
+        now: SimTime,
+        iteration: u32,
+        kind: CollectiveKind,
+        axis: ParallelismAxis,
+        bytes: railsim_sim::Bytes,
+        group_size: usize,
+        group: Option<GroupId>,
+        label: String,
+        participants: Vec<GpuId>,
+    ) -> CommRecord {
+        let (circuit_group, circuits) = self
+            .task_circuits
+            .get(&id)
+            .expect("every communication task has planned circuits")
+            .clone();
+        let scaleout = !circuits.is_scaleup_only();
+        // §5 extension: small, bursty collectives can bypass the optical rails and run
+        // over the host packet-switched network instead of triggering reconfigurations.
+        let offloaded = scaleout
+            && self
+                .config
+                .host_offload
+                .map_or(false, |h| bytes <= h.threshold);
+
+        // The shim intercepts every scale-out call that uses the rails; during the
+        // profiling iteration it records the per-rank group sequence.
+        if scaleout && !offloaded && iteration == 0 {
+            for rank in &participants {
+                self.shim.observe(*rank, circuit_group);
+            }
+        }
+
+        let params = if offloaded {
+            let h = self.config.host_offload.expect("offloaded implies configured");
+            CostParams::new(h.alpha, h.bandwidth)
+        } else if scaleout {
+            self.scaleout_params()
+        } else {
+            self.scaleup_params()
+        };
+        let algorithm = self.config.scaleout_algorithm;
+        let duration = collective_time(kind, algorithm, group_size, bytes, &params);
+
+        let (start, circuit_wait, datapath_latency) = match &mut self.backend {
+            Backend::Electrical(fabric) => {
+                let latency = if scaleout {
+                    fabric.datapath_latency()
+                } else {
+                    SimDuration::ZERO
+                };
+                (now, SimDuration::ZERO, latency)
+            }
+            Backend::Optical(controller) => {
+                if !scaleout || offloaded {
+                    (now, SimDuration::ZERO, SimDuration::ZERO)
+                } else {
+                    let provisioned = self.config.provisioning_active(iteration)
+                        && self.shim.can_provision();
+                    let requested_at = if controller.is_installed(&circuits) {
+                        now
+                    } else if provisioned {
+                        // Speculative request: issued as soon as the previous traffic
+                        // on the affected circuits completed (Fig. 5b). Back-dating
+                        // further than one reconfiguration latency buys nothing (the
+                        // circuits would be ready before the collective is issued
+                        // anyway) but would tear down the old circuits earlier than
+                        // necessary, so the request time is clamped to
+                        // `issue time − reconfiguration latency`.
+                        let earliest_useful = SimTime::from_nanos(
+                            now.as_nanos()
+                                .saturating_sub(self.config.reconfig_latency.as_nanos()),
+                        );
+                        controller.ports_free_at(&circuits).max(earliest_useful)
+                    } else {
+                        now
+                    };
+                    let ready = controller.request(circuit_group, &circuits, requested_at);
+                    let start = ready.max(now);
+                    (start, start.duration_since(now), SimDuration::ZERO)
+                }
+            }
+        };
+
+        let start = start + datapath_latency;
+        let end = start + duration;
+
+        if let Backend::Optical(controller) = &mut self.backend {
+            if scaleout && !offloaded {
+                controller.occupy(&circuits, end);
+            }
+        }
+
+        CommRecord {
+            task: id,
+            label,
+            axis,
+            kind,
+            group,
+            bytes,
+            scaleout,
+            // Offloaded traffic never touches the rails, so it carries no rail list and
+            // is invisible to the per-rail window/phase analysis — which is the point.
+            rails: if offloaded { Vec::new() } else { circuits.rails() },
+            issued_at: now,
+            start,
+            end,
+            circuit_wait,
+        }
+    }
+}
+
+/// Convenience: runs the same (cluster, DAG) under a list of configurations and
+/// returns their results in order. Used by the Fig. 8 sweep.
+pub fn run_policies(
+    cluster: &Cluster,
+    dag: &TrainingDag,
+    configs: &[OpusConfig],
+) -> Vec<SimulationResult> {
+    configs
+        .iter()
+        .map(|cfg| OpusSimulator::new(cluster.clone(), dag.clone(), *cfg).run())
+        .collect()
+}
+
+/// Builds the baseline (electrical) configuration matching `config` in every respect
+/// except the network policy. Useful for normalizing Fig. 8 curves.
+pub fn baseline_of(config: &OpusConfig) -> OpusConfig {
+    OpusConfig {
+        policy: ReconfigPolicy::Electrical,
+        reconfig_latency: SimDuration::ZERO,
+        ..*config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use railsim_topology::{ClusterSpec, NodePreset};
+    use railsim_workload::{
+        ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig,
+    };
+
+    fn paper_setup() -> (Cluster, TrainingDag) {
+        let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
+        let model = ModelConfig::llama3_8b();
+        let parallel = ParallelismConfig::paper_llama3_8b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        let dag = DagBuilder::new(model, parallel, compute).build();
+        (cluster, dag)
+    }
+
+    fn tiny_setup() -> (Cluster, TrainingDag) {
+        let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
+        let model = ModelConfig::tiny_test();
+        let parallel = ParallelismConfig::paper_llama3_8b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        let dag = DagBuilder::new(model, parallel, compute).build();
+        (cluster, dag)
+    }
+
+    #[test]
+    fn electrical_baseline_runs_to_completion() {
+        let (cluster, dag) = tiny_setup();
+        let mut sim = OpusSimulator::new(cluster, dag, OpusConfig::electrical().with_iterations(1));
+        let result = sim.run();
+        assert_eq!(result.iterations.len(), 1);
+        let it = &result.iterations[0];
+        assert!(it.iteration_time > SimDuration::ZERO);
+        assert!(!it.comm_records.is_empty());
+        assert_eq!(it.reconfig_count(), 0, "electrical rails never reconfigure");
+        assert_eq!(it.total_circuit_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn optical_zero_latency_matches_electrical_baseline_closely() {
+        let (cluster, dag) = tiny_setup();
+        let baseline = OpusSimulator::new(
+            cluster.clone(),
+            dag.clone(),
+            OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 1),
+        )
+        .run();
+        let optical = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::on_demand(SimDuration::ZERO)
+                .with_iterations(2)
+                .with_jitter(0.0, 1),
+        )
+        .run();
+        // A zero-latency optical fabric still serializes a port's circuits (a single
+        // NIC port cannot talk to two peers at once), so it can be marginally slower
+        // than the packet-switched baseline, but only marginally.
+        let ratio = optical.normalized_against(&baseline);
+        assert!(
+            (0.98..=1.08).contains(&ratio),
+            "zero-latency optical should closely match the baseline, ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn reconfigurations_happen_on_parallelism_shifts_only() {
+        let (cluster, dag) = tiny_setup();
+        let mut sim = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::on_demand(SimDuration::from_millis(1)).with_iterations(1),
+        );
+        let result = sim.run();
+        let it = &result.iterations[0];
+        assert!(it.reconfig_count() > 0, "optical rails must reconfigure at least once");
+        // Far fewer reconfigurations than communication operations: Opus only switches
+        // when the demand matrix changes (Objective 2).
+        assert!(
+            it.reconfig_count() < it.comm_records.iter().filter(|r| r.scaleout).count(),
+            "reconfig count {} should be far below scale-out op count",
+            it.reconfig_count()
+        );
+    }
+
+    #[test]
+    fn iteration_time_is_monotone_in_reconfig_latency() {
+        let (cluster, dag) = tiny_setup();
+        let mut prev = SimDuration::ZERO;
+        for ms in [0u64, 10, 100, 1000] {
+            let result = OpusSimulator::new(
+                cluster.clone(),
+                dag.clone(),
+                OpusConfig::on_demand(SimDuration::from_millis(ms))
+                    .with_iterations(2)
+                    .with_jitter(0.0, 1),
+            )
+            .run();
+            let t = result.steady_state_iteration_time();
+            assert!(
+                t >= prev,
+                "iteration time must not decrease with latency (at {ms} ms: {t} < {prev})"
+            );
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn provisioning_is_never_slower_than_on_demand() {
+        let (cluster, dag) = tiny_setup();
+        for ms in [1u64, 25, 100, 500] {
+            let on_demand = OpusSimulator::new(
+                cluster.clone(),
+                dag.clone(),
+                OpusConfig::on_demand(SimDuration::from_millis(ms))
+                    .with_iterations(3)
+                    .with_jitter(0.0, 1),
+            )
+            .run();
+            let provisioned = OpusSimulator::new(
+                cluster.clone(),
+                dag.clone(),
+                OpusConfig::provisioned(SimDuration::from_millis(ms))
+                    .with_iterations(3)
+                    .with_jitter(0.0, 1),
+            )
+            .run();
+            let t_od = on_demand.steady_state_iteration_time();
+            let t_pr = provisioned.steady_state_iteration_time();
+            assert!(
+                t_pr <= t_od + SimDuration::from_micros(1),
+                "provisioned ({t_pr}) must not exceed on-demand ({t_od}) at {ms} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn provisioning_hides_most_of_a_moderate_delay() {
+        let (cluster, dag) = paper_setup();
+        let baseline = OpusSimulator::new(
+            cluster.clone(),
+            dag.clone(),
+            OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 1),
+        )
+        .run();
+        let provisioned = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::provisioned(SimDuration::from_millis(25))
+                .with_iterations(2)
+                .with_jitter(0.0, 1),
+        )
+        .run();
+        let ratio = provisioned.normalized_against(&baseline);
+        assert!(
+            ratio < 1.10,
+            "a 25 ms piezo-class switch with provisioning should cost well under 10 %, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn tp_traffic_never_touches_the_rails() {
+        let (cluster, dag) = tiny_setup();
+        let mut sim = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::on_demand(SimDuration::from_millis(1)).with_iterations(1),
+        );
+        let result = sim.run();
+        for rec in &result.iterations[0].comm_records {
+            if rec.axis == ParallelismAxis::Tensor {
+                assert!(!rec.scaleout, "TP record {} must stay in the scale-up domain", rec.label);
+                assert!(rec.rails.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scaleout_records_carry_rails_and_groups() {
+        let (cluster, dag) = tiny_setup();
+        let mut sim = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::on_demand(SimDuration::from_millis(1)).with_iterations(1),
+        );
+        let result = sim.run();
+        let scaleout: Vec<_> = result.iterations[0]
+            .comm_records
+            .iter()
+            .filter(|r| r.scaleout)
+            .collect();
+        assert!(!scaleout.is_empty());
+        for rec in scaleout {
+            assert!(!rec.rails.is_empty(), "{} must name its rails", rec.label);
+            assert!(rec.end > rec.start);
+        }
+    }
+
+    #[test]
+    fn profile_is_captured_during_the_first_iteration() {
+        let (cluster, dag) = tiny_setup();
+        let mut sim = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::provisioned(SimDuration::from_millis(5)).with_iterations(2),
+        );
+        let _ = sim.run();
+        assert!(sim.shim().can_provision());
+        assert!(sim.shim().profile().shift_count(GpuId(0)) > 0);
+    }
+
+    #[test]
+    fn host_offload_reduces_reconfigurations_without_slowing_the_iteration() {
+        use crate::config::HostOffload;
+        let (cluster, dag) = tiny_setup();
+        let latency = SimDuration::from_millis(100);
+        let plain = OpusSimulator::new(
+            cluster.clone(),
+            dag.clone(),
+            OpusConfig::provisioned(latency).with_iterations(2).with_jitter(0.0, 1),
+        )
+        .run();
+        let offloaded = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::provisioned(latency)
+                .with_host_offload(HostOffload::frontend_100g())
+                .with_iterations(2)
+                .with_jitter(0.0, 1),
+        )
+        .run();
+        // The sub-megabyte sync AllReduces no longer hit the rails, so the offloaded
+        // run reconfigures at most as often and must not be slower.
+        assert!(offloaded.total_reconfigs() <= plain.total_reconfigs());
+        assert!(
+            offloaded.steady_state_iteration_time()
+                <= plain.steady_state_iteration_time() + SimDuration::from_micros(1)
+        );
+        // Offloaded records carry no rails.
+        let has_offloaded_record = offloaded
+            .iterations
+            .iter()
+            .flat_map(|i| i.comm_records.iter())
+            .any(|r| r.scaleout && r.rails.is_empty());
+        assert!(has_offloaded_record, "some traffic must actually have been offloaded");
+    }
+
+    #[test]
+    fn multiple_iterations_advance_the_clock() {
+        let (cluster, dag) = tiny_setup();
+        let mut sim = OpusSimulator::new(
+            cluster,
+            dag,
+            OpusConfig::electrical().with_iterations(3),
+        );
+        let result = sim.run();
+        assert_eq!(result.iterations.len(), 3);
+        for w in result.iterations.windows(2) {
+            assert!(w[1].started_at > w[0].started_at);
+        }
+    }
+}

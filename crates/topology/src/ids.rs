@@ -1,0 +1,106 @@
+//! Identifier newtypes for topology elements.
+//!
+//! By convention a [`GpuId`] is the GPU's global index in the cluster: GPU `g` lives in
+//! scale-up domain (node) `g / gpus_per_node` and has local rank `g % gpus_per_node`.
+//! The rail id of a GPU equals its local rank — rail *r* wires together the GPUs with
+//! local rank *r* from every node (Fig. 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Global index of a GPU in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuId(pub u32);
+
+/// Index of a scale-up domain (a DGX/HGX-style node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of a rail. Equal to the local rank of the GPUs it connects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RailId(pub u32);
+
+/// A scale-out NIC port on a specific GPU.
+///
+/// A GPU's NIC can be configured as several logical ports (e.g. 4×100 G); `port` is the
+/// logical port index on that GPU, in `0..NicConfig::ports`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId {
+    /// The GPU owning the port.
+    pub gpu: GpuId,
+    /// Logical port index on that GPU's NIC.
+    pub port: u8,
+}
+
+impl GpuId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RailId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// Creates a port id.
+    pub fn new(gpu: GpuId, port: u8) -> Self {
+        PortId { gpu, port }
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for RailId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rail{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:p{}", self.gpu, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", GpuId(3)), "gpu3");
+        assert_eq!(format!("{}", NodeId(1)), "node1");
+        assert_eq!(format!("{}", RailId(7)), "rail7");
+        assert_eq!(format!("{}", PortId::new(GpuId(3), 2)), "gpu3:p2");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_for_ports() {
+        let a = PortId::new(GpuId(1), 3);
+        let b = PortId::new(GpuId(2), 0);
+        assert!(a < b);
+        assert!(PortId::new(GpuId(1), 0) < a);
+    }
+}

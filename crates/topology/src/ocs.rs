@@ -1,0 +1,532 @@
+//! The optical circuit switch (OCS) model.
+//!
+//! An OCS provides one-to-one circuits between its ports: at any instant its state is a
+//! partial matching over the attached ports. Changing that matching (tearing circuits
+//! down and setting new ones up) takes a technology-dependent reconfiguration delay —
+//! from tens of microseconds for PLZT devices to tens of milliseconds for 3D MEMS and
+//! piezo switches (Table 3 of the paper). During the delay the *affected* circuits
+//! carry no traffic; untouched circuits keep running, which is the fine-grained,
+//! per-communication-group reconfiguration granularity §5 of the paper calls for.
+
+use crate::ids::{GpuId, PortId};
+use railsim_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An undirected circuit between two OCS ports.
+///
+/// The two endpoints are stored in sorted order, so `Circuit::new(a, b)` and
+/// `Circuit::new(b, a)` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Circuit {
+    lo: PortId,
+    hi: PortId,
+}
+
+impl Circuit {
+    /// Creates a circuit between two distinct ports.
+    ///
+    /// # Panics
+    /// Panics if both endpoints are the same port.
+    pub fn new(a: PortId, b: PortId) -> Self {
+        assert!(a != b, "a circuit cannot loop a port back to itself ({a})");
+        if a <= b {
+            Circuit { lo: a, hi: b }
+        } else {
+            Circuit { lo: b, hi: a }
+        }
+    }
+
+    /// The lexicographically smaller endpoint.
+    pub fn a(&self) -> PortId {
+        self.lo
+    }
+
+    /// The lexicographically larger endpoint.
+    pub fn b(&self) -> PortId {
+        self.hi
+    }
+
+    /// True when `port` is one of the circuit's endpoints.
+    pub fn uses_port(&self, port: PortId) -> bool {
+        self.lo == port || self.hi == port
+    }
+
+    /// True when either endpoint belongs to `gpu`.
+    pub fn touches_gpu(&self, gpu: GpuId) -> bool {
+        self.lo.gpu == gpu || self.hi.gpu == gpu
+    }
+
+    /// True when this circuit connects the two given GPUs (in either direction).
+    pub fn connects_gpus(&self, x: GpuId, y: GpuId) -> bool {
+        (self.lo.gpu == x && self.hi.gpu == y) || (self.lo.gpu == y && self.hi.gpu == x)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<->{}", self.lo, self.hi)
+    }
+}
+
+/// A set of circuits forming a valid partial matching (no port used twice).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitConfig {
+    circuits: Vec<Circuit>,
+}
+
+impl CircuitConfig {
+    /// An empty configuration (all circuits torn down).
+    pub fn empty() -> Self {
+        CircuitConfig::default()
+    }
+
+    /// Builds a configuration, validating that no port appears twice.
+    pub fn new(circuits: Vec<Circuit>) -> Result<Self, OcsError> {
+        let mut seen = BTreeSet::new();
+        for c in &circuits {
+            for p in [c.a(), c.b()] {
+                if !seen.insert(p) {
+                    return Err(OcsError::PortConflict { port: p });
+                }
+            }
+        }
+        Ok(CircuitConfig { circuits })
+    }
+
+    /// The circuits in this configuration.
+    pub fn circuits(&self) -> &[Circuit] {
+        &self.circuits
+    }
+
+    /// Number of circuits.
+    pub fn len(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// True when the configuration contains no circuits.
+    pub fn is_empty(&self) -> bool {
+        self.circuits.is_empty()
+    }
+
+    /// All distinct ports used by this configuration.
+    pub fn ports(&self) -> BTreeSet<PortId> {
+        self.circuits
+            .iter()
+            .flat_map(|c| [c.a(), c.b()])
+            .collect()
+    }
+
+    /// True when the configuration contains a circuit between the two GPUs.
+    pub fn connects_gpus(&self, x: GpuId, y: GpuId) -> bool {
+        self.circuits.iter().any(|c| c.connects_gpus(x, y))
+    }
+}
+
+/// Errors from OCS operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OcsError {
+    /// Installing the requested circuits would exceed the switch radix.
+    RadixExceeded {
+        /// Number of ports the resulting matching would need.
+        required: usize,
+        /// Number of ports the switch has.
+        radix: usize,
+    },
+    /// A port appears in more than one requested circuit.
+    PortConflict {
+        /// The conflicting port.
+        port: PortId,
+    },
+}
+
+impl fmt::Display for OcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OcsError::RadixExceeded { required, radix } => {
+                write!(f, "circuit matching needs {required} ports but the OCS radix is {radix}")
+            }
+            OcsError::PortConflict { port } => {
+                write!(f, "port {port} appears in more than one circuit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OcsError {}
+
+/// An optical circuit switch: a bounded-radix partial matching of ports, each circuit
+/// annotated with the simulated time at which it becomes usable.
+#[derive(Debug, Clone)]
+pub struct Ocs {
+    radix: usize,
+    reconfig_delay: SimDuration,
+    /// Installed circuits and the time at which each becomes ready to carry traffic.
+    circuits: BTreeMap<Circuit, SimTime>,
+    reconfig_count: u64,
+    circuits_torn_down: u64,
+    circuits_set_up: u64,
+}
+
+impl Ocs {
+    /// Creates an OCS with the given port count and reconfiguration delay.
+    ///
+    /// # Panics
+    /// Panics if `radix` is zero.
+    pub fn new(radix: usize, reconfig_delay: SimDuration) -> Self {
+        assert!(radix > 0, "an OCS must have at least one port");
+        Ocs {
+            radix,
+            reconfig_delay,
+            circuits: BTreeMap::new(),
+            reconfig_count: 0,
+            circuits_torn_down: 0,
+            circuits_set_up: 0,
+        }
+    }
+
+    /// The switch radix (number of ports).
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// The configured reconfiguration delay.
+    pub fn reconfig_delay(&self) -> SimDuration {
+        self.reconfig_delay
+    }
+
+    /// Changes the reconfiguration delay (used by parameter sweeps).
+    pub fn set_reconfig_delay(&mut self, delay: SimDuration) {
+        self.reconfig_delay = delay;
+    }
+
+    /// Number of installed circuits (ready or still settling).
+    pub fn num_circuits(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Number of ports currently part of a circuit.
+    pub fn ports_in_use(&self) -> usize {
+        self.circuits.len() * 2
+    }
+
+    /// Number of reconfiguration operations performed (install calls that changed state).
+    pub fn reconfig_count(&self) -> u64 {
+        self.reconfig_count
+    }
+
+    /// Total circuits torn down over the switch lifetime.
+    pub fn circuits_torn_down(&self) -> u64 {
+        self.circuits_torn_down
+    }
+
+    /// Total circuits set up over the switch lifetime.
+    pub fn circuits_set_up(&self) -> u64 {
+        self.circuits_set_up
+    }
+
+    /// Iterates over installed circuits and their ready times.
+    pub fn circuits(&self) -> impl Iterator<Item = (&Circuit, &SimTime)> {
+        self.circuits.iter()
+    }
+
+    /// True when a circuit between `a` and `b` is installed and ready at `now`.
+    pub fn is_connected(&self, a: PortId, b: PortId, now: SimTime) -> bool {
+        self.circuits
+            .get(&Circuit::new(a, b))
+            .map(|&ready| ready <= now)
+            .unwrap_or(false)
+    }
+
+    /// The ready time of the circuit between `a` and `b`, if installed.
+    pub fn ready_time(&self, a: PortId, b: PortId) -> Option<SimTime> {
+        self.circuits.get(&Circuit::new(a, b)).copied()
+    }
+
+    /// True when any circuit between a port of `x` and a port of `y` is ready at `now`.
+    pub fn gpus_connected(&self, x: GpuId, y: GpuId, now: SimTime) -> bool {
+        self.circuits
+            .iter()
+            .any(|(c, &ready)| c.connects_gpus(x, y) && ready <= now)
+    }
+
+    /// Earliest ready time over circuits connecting GPUs `x` and `y`, if any circuit
+    /// between them is installed (possibly still settling).
+    pub fn gpu_ready_time(&self, x: GpuId, y: GpuId) -> Option<SimTime> {
+        self.circuits
+            .iter()
+            .filter(|(c, _)| c.connects_gpus(x, y))
+            .map(|(_, &ready)| ready)
+            .min()
+    }
+
+    /// Number of ready circuits between GPUs `x` and `y` at `now` (used to compute the
+    /// aggregate bandwidth of a multi-port connection).
+    pub fn circuits_between_gpus(&self, x: GpuId, y: GpuId, now: SimTime) -> usize {
+        self.circuits
+            .iter()
+            .filter(|(c, &ready)| c.connects_gpus(x, y) && ready <= now)
+            .count()
+    }
+
+    /// True when installing `config` would change nothing (every requested circuit is
+    /// already installed).
+    pub fn already_installed(&self, config: &CircuitConfig) -> bool {
+        config.circuits().iter().all(|c| self.circuits.contains_key(c))
+    }
+
+    /// Installs the circuits of `config`, tearing down any existing circuits that
+    /// conflict with the requested ports.
+    ///
+    /// * Circuits already installed are left untouched (their ready time is preserved),
+    ///   so re-installing the current configuration is free.
+    /// * Newly created circuits become ready at `now + reconfig_delay`.
+    /// * Returns the time at which *all* requested circuits are ready.
+    ///
+    /// # Errors
+    /// Returns [`OcsError::RadixExceeded`] if the resulting matching would need more
+    /// ports than the switch has; the switch state is left unchanged in that case.
+    pub fn install(&mut self, config: &CircuitConfig, now: SimTime) -> Result<SimTime, OcsError> {
+        // Determine which requested circuits are new.
+        let new_circuits: Vec<Circuit> = config
+            .circuits()
+            .iter()
+            .filter(|c| !self.circuits.contains_key(c))
+            .copied()
+            .collect();
+
+        if new_circuits.is_empty() {
+            // Nothing changes; ready when the slowest requested circuit is ready.
+            let ready = config
+                .circuits()
+                .iter()
+                .filter_map(|c| self.circuits.get(c).copied())
+                .max()
+                .unwrap_or(now);
+            return Ok(ready.max(now));
+        }
+
+        // Simulate the resulting matching to validate the radix bound.
+        let requested_ports: BTreeSet<PortId> =
+            new_circuits.iter().flat_map(|c| [c.a(), c.b()]).collect();
+        let surviving: Vec<Circuit> = self
+            .circuits
+            .keys()
+            .filter(|c| !c.uses_port_any(&requested_ports))
+            .copied()
+            .collect();
+        let resulting_ports = surviving.len() * 2 + requested_ports.len();
+        if resulting_ports > self.radix {
+            return Err(OcsError::RadixExceeded {
+                required: resulting_ports,
+                radix: self.radix,
+            });
+        }
+
+        // Tear down conflicting circuits.
+        let to_remove: Vec<Circuit> = self
+            .circuits
+            .keys()
+            .filter(|c| c.uses_port_any(&requested_ports))
+            .copied()
+            .collect();
+        for c in &to_remove {
+            self.circuits.remove(c);
+            self.circuits_torn_down += 1;
+        }
+
+        // Set up the new circuits.
+        let ready_at = now + self.reconfig_delay;
+        for c in &new_circuits {
+            self.circuits.insert(*c, ready_at);
+            self.circuits_set_up += 1;
+        }
+        self.reconfig_count += 1;
+
+        // All requested circuits (old and new) must be ready.
+        let ready = config
+            .circuits()
+            .iter()
+            .filter_map(|c| self.circuits.get(c).copied())
+            .max()
+            .unwrap_or(ready_at);
+        Ok(ready.max(now))
+    }
+
+    /// Tears down every circuit touching any port of `gpu`. Returns how many were removed.
+    pub fn tear_down_gpu(&mut self, gpu: GpuId) -> usize {
+        let to_remove: Vec<Circuit> = self
+            .circuits
+            .keys()
+            .filter(|c| c.touches_gpu(gpu))
+            .copied()
+            .collect();
+        let n = to_remove.len();
+        for c in to_remove {
+            self.circuits.remove(&c);
+            self.circuits_torn_down += 1;
+        }
+        if n > 0 {
+            self.reconfig_count += 1;
+        }
+        n
+    }
+
+    /// Tears down every installed circuit.
+    pub fn clear(&mut self) {
+        if !self.circuits.is_empty() {
+            self.circuits_torn_down += self.circuits.len() as u64;
+            self.reconfig_count += 1;
+        }
+        self.circuits.clear();
+    }
+}
+
+impl Circuit {
+    fn uses_port_any(&self, ports: &BTreeSet<PortId>) -> bool {
+        ports.contains(&self.lo) || ports.contains(&self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(gpu: u32, p: u8) -> PortId {
+        PortId::new(GpuId(gpu), p)
+    }
+
+    #[test]
+    fn circuit_is_undirected() {
+        let c1 = Circuit::new(port(0, 0), port(1, 0));
+        let c2 = Circuit::new(port(1, 0), port(0, 0));
+        assert_eq!(c1, c2);
+        assert!(c1.connects_gpus(GpuId(0), GpuId(1)));
+        assert!(c1.connects_gpus(GpuId(1), GpuId(0)));
+        assert!(!c1.connects_gpus(GpuId(0), GpuId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot loop")]
+    fn self_loop_rejected() {
+        let _ = Circuit::new(port(0, 0), port(0, 0));
+    }
+
+    #[test]
+    fn config_rejects_port_reuse() {
+        let c1 = Circuit::new(port(0, 0), port(1, 0));
+        let c2 = Circuit::new(port(0, 0), port(2, 0));
+        let err = CircuitConfig::new(vec![c1, c2]).unwrap_err();
+        assert_eq!(err, OcsError::PortConflict { port: port(0, 0) });
+    }
+
+    #[test]
+    fn install_sets_ready_after_delay() {
+        let mut ocs = Ocs::new(16, SimDuration::from_millis(15));
+        let cfg = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let now = SimTime::from_millis(100);
+        let ready = ocs.install(&cfg, now).unwrap();
+        assert_eq!(ready, SimTime::from_millis(115));
+        assert!(!ocs.gpus_connected(GpuId(0), GpuId(1), now));
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(1), ready));
+        assert_eq!(ocs.reconfig_count(), 1);
+    }
+
+    #[test]
+    fn reinstalling_same_config_is_free() {
+        let mut ocs = Ocs::new(16, SimDuration::from_millis(15));
+        let cfg = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let t0 = SimTime::from_millis(0);
+        let ready = ocs.install(&cfg, t0).unwrap();
+        // Later, reinstalling the same circuits changes nothing and is ready immediately.
+        let later = SimTime::from_millis(100);
+        let ready2 = ocs.install(&cfg, later).unwrap();
+        assert_eq!(ready2, later);
+        assert!(ready < later);
+        assert_eq!(ocs.reconfig_count(), 1);
+        assert!(ocs.already_installed(&cfg));
+    }
+
+    #[test]
+    fn conflicting_circuit_tears_down_old_one() {
+        let mut ocs = Ocs::new(16, SimDuration::from_millis(10));
+        let ring_dp = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let ring_pp = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(2, 0))]).unwrap();
+        ocs.install(&ring_dp, SimTime::ZERO).unwrap();
+        let ready = ocs.install(&ring_pp, SimTime::from_millis(50)).unwrap();
+        assert_eq!(ready, SimTime::from_millis(60));
+        assert_eq!(ocs.num_circuits(), 1);
+        assert!(!ocs.gpus_connected(GpuId(0), GpuId(1), SimTime::from_millis(200)));
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(2), SimTime::from_millis(200)));
+        assert_eq!(ocs.circuits_torn_down(), 1);
+        assert_eq!(ocs.circuits_set_up(), 2);
+    }
+
+    #[test]
+    fn non_conflicting_circuits_coexist() {
+        let mut ocs = Ocs::new(16, SimDuration::from_millis(10));
+        let a = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let b = CircuitConfig::new(vec![Circuit::new(port(2, 0), port(3, 0))]).unwrap();
+        ocs.install(&a, SimTime::ZERO).unwrap();
+        ocs.install(&b, SimTime::ZERO).unwrap();
+        assert_eq!(ocs.num_circuits(), 2);
+        let t = SimTime::from_millis(20);
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(1), t));
+        assert!(ocs.gpus_connected(GpuId(2), GpuId(3), t));
+    }
+
+    #[test]
+    fn radix_bound_enforced() {
+        let mut ocs = Ocs::new(4, SimDuration::ZERO);
+        let cfg = CircuitConfig::new(vec![
+            Circuit::new(port(0, 0), port(1, 0)),
+            Circuit::new(port(2, 0), port(3, 0)),
+            Circuit::new(port(4, 0), port(5, 0)),
+        ])
+        .unwrap();
+        let err = ocs.install(&cfg, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, OcsError::RadixExceeded { required: 6, radix: 4 });
+        assert_eq!(ocs.num_circuits(), 0, "failed install must not mutate state");
+    }
+
+    #[test]
+    fn zero_delay_circuits_ready_immediately() {
+        let mut ocs = Ocs::new(8, SimDuration::ZERO);
+        let cfg = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let now = SimTime::from_secs(1);
+        let ready = ocs.install(&cfg, now).unwrap();
+        assert_eq!(ready, now);
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(1), now));
+    }
+
+    #[test]
+    fn tear_down_gpu_removes_only_its_circuits() {
+        let mut ocs = Ocs::new(16, SimDuration::ZERO);
+        let cfg = CircuitConfig::new(vec![
+            Circuit::new(port(0, 0), port(1, 0)),
+            Circuit::new(port(2, 0), port(3, 0)),
+        ])
+        .unwrap();
+        ocs.install(&cfg, SimTime::ZERO).unwrap();
+        assert_eq!(ocs.tear_down_gpu(GpuId(0)), 1);
+        assert_eq!(ocs.num_circuits(), 1);
+        assert_eq!(ocs.tear_down_gpu(GpuId(7)), 0);
+    }
+
+    #[test]
+    fn multi_port_gpus_support_multiple_circuits() {
+        // A GPU with a 2-port NIC keeps one circuit per neighbor in a ring.
+        let mut ocs = Ocs::new(32, SimDuration::from_millis(1));
+        let cfg = CircuitConfig::new(vec![
+            Circuit::new(port(0, 0), port(1, 0)),
+            Circuit::new(port(0, 1), port(2, 0)),
+        ])
+        .unwrap();
+        ocs.install(&cfg, SimTime::ZERO).unwrap();
+        let t = SimTime::from_millis(5);
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(1), t));
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(2), t));
+        assert_eq!(ocs.circuits_between_gpus(GpuId(0), GpuId(1), t), 1);
+    }
+}

@@ -1,0 +1,1206 @@
+//! The training-iteration execution DAG.
+//!
+//! A [`TrainingDag`] is the static description of everything one training iteration
+//! does: per-rank compute tasks, collectives, and point-to-point transfers, connected
+//! by the data dependencies of the model's execution graph (Fig. 2 of the paper). The
+//! Opus simulator executes this DAG over a concrete cluster and fabric; the window
+//! analysis of Fig. 3/4 and the reconfiguration-latency sweep of Fig. 8 all consume the
+//! same structure.
+//!
+//! The builder follows the paper's §3.1 workload semantics:
+//!
+//! * the 1F1B pipeline schedule orders forward/backward passes per stage,
+//! * FSDP AllGathers parameters per layer during the first forward micro-batch
+//!   (and, honouring PyTorch's lazy DTensor behaviour, a non-zero stage's first
+//!   AllGather waits for the activation from the previous stage),
+//! * FSDP ReduceScatters gradients per layer once the last backward micro-batch has
+//!   produced them,
+//! * TP collectives run inside every layer of every micro-batch (they stay in the
+//!   scale-up domain under the rail mapping),
+//! * pipeline Send/Recv moves activations (forward) and activation gradients
+//!   (backward) between adjacent stages,
+//! * a short synchronization epilogue (grad-norm / loss AllReduces) precedes the
+//!   optimizer step.
+
+use crate::compute::ComputeModel;
+use crate::model::ModelConfig;
+use crate::parallelism::{DataParallelKind, ParallelismConfig};
+use crate::pipeline::PipelineSchedule;
+use crate::rank_map::RankMapping;
+use crate::sizes::TrafficSizes;
+use railsim_collectives::{CollectiveKind, CommGroup, GroupId, ParallelismAxis};
+use railsim_sim::{Bytes, SimDuration};
+use railsim_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifier of a task within a [`TrainingDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// What a task does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Local GPU computation of a fixed duration.
+    Compute {
+        /// How long the computation runs.
+        duration: SimDuration,
+    },
+    /// A collective over a communication group.
+    Collective {
+        /// The group performing the collective.
+        group: GroupId,
+        /// The collective operation.
+        kind: CollectiveKind,
+        /// The parallelism axis that issued it.
+        axis: ParallelismAxis,
+        /// Logical buffer size (see [`railsim_collectives::cost`] conventions).
+        bytes: Bytes,
+    },
+    /// A point-to-point transfer between two ranks.
+    PointToPoint {
+        /// Sending rank.
+        src: GpuId,
+        /// Receiving rank.
+        dst: GpuId,
+        /// The parallelism axis that issued it (pipeline in practice).
+        axis: ParallelismAxis,
+        /// Message size.
+        bytes: Bytes,
+    },
+}
+
+impl TaskKind {
+    /// True for communication tasks (collective or point-to-point).
+    pub fn is_communication(&self) -> bool {
+        !matches!(self, TaskKind::Compute { .. })
+    }
+
+    /// The parallelism axis of a communication task.
+    pub fn axis(&self) -> Option<ParallelismAxis> {
+        match self {
+            TaskKind::Compute { .. } => None,
+            TaskKind::Collective { axis, .. } => Some(*axis),
+            TaskKind::PointToPoint { axis, .. } => Some(*axis),
+        }
+    }
+
+    /// The bytes moved by a communication task.
+    pub fn bytes(&self) -> Bytes {
+        match self {
+            TaskKind::Compute { .. } => Bytes::ZERO,
+            TaskKind::Collective { bytes, .. } => *bytes,
+            TaskKind::PointToPoint { bytes, .. } => *bytes,
+        }
+    }
+}
+
+/// One node of the execution DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique id.
+    pub id: TaskId,
+    /// What the task does.
+    pub kind: TaskKind,
+    /// The ranks that take part (one rank for compute, the group for collectives,
+    /// `[src, dst]` for point-to-point transfers).
+    pub participants: Vec<GpuId>,
+    /// Tasks that must complete before this one can start.
+    pub deps: Vec<TaskId>,
+    /// Human-readable label ("fwd s0 mb0 L3", "FSDP-AG L3", ...).
+    pub label: String,
+    /// Micro-batch index, when applicable.
+    pub microbatch: Option<u32>,
+    /// Layer index, when applicable.
+    pub layer: Option<u32>,
+}
+
+/// The execution DAG of one training iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingDag {
+    /// All tasks, indexed by `TaskId` (task `i` is at position `i`).
+    pub tasks: Vec<Task>,
+    /// Every communication group referenced by the tasks.
+    pub groups: BTreeMap<GroupId, CommGroup>,
+    /// The parallelism configuration the DAG was built for.
+    pub config: ParallelismConfig,
+}
+
+impl TrainingDag {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Borrow a task.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Borrow a communication group.
+    pub fn group(&self, id: GroupId) -> &CommGroup {
+        &self.groups[&id]
+    }
+
+    /// All communication tasks.
+    pub fn communication_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| t.kind.is_communication())
+    }
+
+    /// All compute tasks.
+    pub fn compute_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| !t.kind.is_communication())
+    }
+
+    /// Total bytes moved by all communication tasks.
+    pub fn total_communication_bytes(&self) -> Bytes {
+        self.communication_tasks().map(|t| t.kind.bytes()).sum()
+    }
+
+    /// A topological order of the tasks, or `None` if the DAG contains a cycle.
+    pub fn topological_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for task in &self.tasks {
+            indegree[task.id.0 as usize] = task.deps.len();
+            for dep in &task.deps {
+                dependents[dep.0 as usize].push(task.id.0 as usize);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(TaskId(i as u32));
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Validates structural invariants: dependency ids are in range, participants are
+    /// non-empty, collective groups exist, and the graph is acyclic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, task) in self.tasks.iter().enumerate() {
+            if task.id.0 as usize != i {
+                return Err(format!("task at position {i} has id {:?}", task.id));
+            }
+            if task.participants.is_empty() {
+                return Err(format!("task {} has no participants", task.label));
+            }
+            for dep in &task.deps {
+                if dep.0 as usize >= self.tasks.len() {
+                    return Err(format!("task {} depends on unknown task {dep:?}", task.label));
+                }
+            }
+            if let TaskKind::Collective { group, .. } = &task.kind {
+                if !self.groups.contains_key(group) {
+                    return Err(format!("task {} references unknown group {group}", task.label));
+                }
+            }
+        }
+        if let Some(order) = self.topological_order() {
+            debug_assert_eq!(order.len(), self.tasks.len());
+        } else {
+            // Report a few of the tasks stuck in the cycle to make the error actionable.
+            let mut in_order = vec![false; self.tasks.len()];
+            // Re-run Kahn's algorithm to find which tasks never became ready.
+            let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+            let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+            for task in &self.tasks {
+                for dep in &task.deps {
+                    dependents[dep.0 as usize].push(task.id.0 as usize);
+                }
+            }
+            let mut ready: Vec<usize> = (0..self.tasks.len()).filter(|&i| indegree[i] == 0).collect();
+            while let Some(i) = ready.pop() {
+                in_order[i] = true;
+                for &d in &dependents[i] {
+                    indegree[d] -= 1;
+                    if indegree[d] == 0 {
+                        ready.push(d);
+                    }
+                }
+            }
+            let stuck: Vec<String> = self
+                .tasks
+                .iter()
+                .filter(|t| !in_order[t.id.0 as usize])
+                .take(8)
+                .map(|t| {
+                    let blocking: Vec<String> = t
+                        .deps
+                        .iter()
+                        .filter(|d| !in_order[d.0 as usize])
+                        .map(|d| format!("{} ({})", d.0, self.tasks[d.0 as usize].label))
+                        .collect();
+                    format!("#{} {} <- [{}]", t.id.0, t.label, blocking.join(", "))
+                })
+                .collect();
+            return Err(format!(
+                "the task graph contains a cycle; sample of stuck tasks:\n  {}",
+                stuck.join("\n  ")
+            ));
+        }
+        Ok(())
+    }
+
+    /// The tasks a given rank participates in, in id order.
+    pub fn tasks_of_rank(&self, rank: GpuId) -> Vec<&Task> {
+        self.tasks
+            .iter()
+            .filter(|t| t.participants.contains(&rank))
+            .collect()
+    }
+}
+
+/// Builds [`TrainingDag`]s from a model, a parallelism configuration and a compute model.
+#[derive(Debug, Clone)]
+pub struct DagBuilder {
+    model: ModelConfig,
+    parallel: ParallelismConfig,
+    compute: ComputeModel,
+    sizes: TrafficSizes,
+    schedule: PipelineSchedule,
+}
+
+/// Internal builder state.
+struct BuildState {
+    tasks: Vec<Task>,
+    /// Last compute task per rank (serializes the compute stream).
+    compute_tail: HashMap<GpuId, TaskId>,
+    /// Last communication task per (rank, axis) (serializes each comm stream).
+    comm_tail: HashMap<(GpuId, ParallelismAxis), TaskId>,
+    /// Collective instances already created, keyed by `(group, label)`. Every
+    /// participant of a collective runs the same builder code; the first one to reach
+    /// the call creates the task and later participants *join* it, contributing their
+    /// own prerequisites as extra dependencies. This models a single NCCL call per
+    /// group (the collective starts when its slowest member arrives) instead of one
+    /// call per member.
+    collective_instances: HashMap<(GroupId, String), TaskId>,
+}
+
+impl BuildState {
+    fn new() -> Self {
+        BuildState {
+            tasks: Vec::new(),
+            compute_tail: HashMap::new(),
+            comm_tail: HashMap::new(),
+            collective_instances: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, mut task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        task.id = id;
+        // Deduplicate dependencies while preserving order.
+        let mut seen = std::collections::HashSet::new();
+        task.deps.retain(|d| seen.insert(*d));
+        self.tasks.push(task);
+        id
+    }
+
+    fn add_compute(
+        &mut self,
+        rank: GpuId,
+        duration: SimDuration,
+        deps: Vec<TaskId>,
+        label: String,
+        microbatch: Option<u32>,
+        layer: Option<u32>,
+    ) -> TaskId {
+        // Compute tasks are serialized per rank by (a) the explicit layer chain inside
+        // each forward/backward pass and (b) the schedule-ordering pass between passes.
+        // Chaining on creation order here would contradict the 1F1B interleaving
+        // (backwards are created after all forwards), so only the tail pointer is
+        // maintained — it is consumed by the optimizer epilogue.
+        let id = self.push(Task {
+            id: TaskId(0),
+            kind: TaskKind::Compute { duration },
+            participants: vec![rank],
+            deps,
+            label,
+            microbatch,
+            layer,
+        });
+        self.compute_tail.insert(rank, id);
+        id
+    }
+
+    fn add_collective(
+        &mut self,
+        group: &CommGroup,
+        kind: CollectiveKind,
+        bytes: Bytes,
+        mut deps: Vec<TaskId>,
+        label: String,
+        microbatch: Option<u32>,
+        layer: Option<u32>,
+    ) -> TaskId {
+        let key = (group.id, label.clone());
+        if let Some(&existing) = self.collective_instances.get(&key) {
+            // A peer already created this collective instance: join it by contributing
+            // our prerequisites, so the collective waits for its slowest participant.
+            let task = &mut self.tasks[existing.0 as usize];
+            for dep in deps {
+                if dep != existing && !task.deps.contains(&dep) {
+                    task.deps.push(dep);
+                }
+            }
+            return existing;
+        }
+        // Only the Data (FSDP) axis serializes its collectives on a per-rank stream:
+        // the AllGather prefetch chain and the trailing ReduceScatters are issued on a
+        // dedicated communication stream in iteration order. Chaining the other axes
+        // by *creation* order would contradict the 1F1B schedule (e.g. it would force
+        // a stage's backward-pass TP collective to wait for a later micro-batch's
+        // forward-pass collective) and create cycles; their ordering is already fully
+        // determined by their compute dependencies.
+        let chain = group.axis == ParallelismAxis::Data;
+        if chain {
+            for rank in &group.ranks {
+                if let Some(prev) = self.comm_tail.get(&(*rank, group.axis)) {
+                    deps.push(*prev);
+                }
+            }
+        }
+        let id = self.push(Task {
+            id: TaskId(0),
+            kind: TaskKind::Collective {
+                group: group.id,
+                kind,
+                axis: group.axis,
+                bytes,
+            },
+            participants: group.ranks.clone(),
+            deps,
+            label,
+            microbatch,
+            layer,
+        });
+        if chain {
+            for rank in &group.ranks {
+                self.comm_tail.insert((*rank, group.axis), id);
+            }
+        }
+        self.collective_instances.insert(key, id);
+        id
+    }
+
+    fn add_p2p(
+        &mut self,
+        src: GpuId,
+        dst: GpuId,
+        axis: ParallelismAxis,
+        bytes: Bytes,
+        deps: Vec<TaskId>,
+        label: String,
+        microbatch: Option<u32>,
+    ) -> TaskId {
+        // Point-to-point ordering follows purely from data dependencies (a Send cannot
+        // happen before the activation it carries exists); no stream chaining is added.
+        self.push(Task {
+            id: TaskId(0),
+            kind: TaskKind::PointToPoint {
+                src,
+                dst,
+                axis,
+                bytes,
+            },
+            participants: vec![src, dst],
+            deps,
+            label,
+            microbatch,
+            layer: None,
+        })
+    }
+}
+
+impl DagBuilder {
+    /// Creates a builder. The compute model is derived from the model, parallelism and
+    /// GPU specification.
+    pub fn new(
+        model: ModelConfig,
+        parallel: ParallelismConfig,
+        compute: ComputeModel,
+    ) -> Self {
+        let sizes = TrafficSizes::derive(&model, &parallel);
+        DagBuilder {
+            model,
+            parallel,
+            compute,
+            sizes,
+            schedule: PipelineSchedule::OneFOneB,
+        }
+    }
+
+    /// Selects a different pipeline schedule (default: 1F1B).
+    pub fn with_schedule(mut self, schedule: PipelineSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The traffic sizes the builder derived.
+    pub fn sizes(&self) -> &TrafficSizes {
+        &self.sizes
+    }
+
+    /// Builds the execution DAG of one training iteration.
+    pub fn build(&self) -> TrainingDag {
+        let mapping = RankMapping::new(self.parallel.clone());
+        let comm_groups = mapping.build_comm_groups();
+        let groups: BTreeMap<GroupId, CommGroup> =
+            comm_groups.iter().map(|g| (g.id, g.clone())).collect();
+        // Index groups by (anchor member, axis) for fast lookup.
+        let mut group_of: HashMap<(GpuId, ParallelismAxis), GroupId> = HashMap::new();
+        for g in &comm_groups {
+            for rank in &g.ranks {
+                group_of.insert((*rank, g.axis), g.id);
+            }
+        }
+        let lookup = |rank: GpuId, axis: ParallelismAxis| -> Option<&CommGroup> {
+            group_of.get(&(rank, axis)).map(|id| &groups[id])
+        };
+
+        let mut st = BuildState::new();
+        let p = &self.parallel;
+        let layers_per_stage = self.compute.layers_per_stage;
+        let num_stages = p.pipeline;
+        let num_mb = p.num_microbatches;
+        let fsdp = p.data > 1 && p.data_kind == DataParallelKind::FullySharded;
+        let plain_dp = p.data > 1 && p.data_kind == DataParallelKind::AllReduce;
+
+        // Per (rank, microbatch): the task that delivered the forward activation into
+        // this rank's stage (used both by layer-0 compute and by lazy FSDP AllGather).
+        let mut fwd_recv: HashMap<(GpuId, u32), TaskId> = HashMap::new();
+        // Per (rank, microbatch): the task producing the final forward activation of
+        // this rank's stage (feeds the forward Send to the next stage).
+        let mut fwd_out: HashMap<(GpuId, u32), TaskId> = HashMap::new();
+        // Same for the backward direction.
+        let mut bwd_recv: HashMap<(GpuId, u32), TaskId> = HashMap::new();
+        let mut bwd_out: HashMap<(GpuId, u32), TaskId> = HashMap::new();
+        // Per (rank, layer): whether the FSDP AllGather for that layer has been issued.
+        let mut ag_done: HashMap<(GpuId, u32), TaskId> = HashMap::new();
+
+        let world = mapping.world_size();
+        let all_ranks: Vec<GpuId> = (0..world).map(GpuId).collect();
+
+        // --- Phase A: create forward/backward Send|Recv and compute/collective tasks
+        // stage by stage, following each rank's 1F1B schedule. Processing stages in
+        // forward order for forward passes and reverse order for backward passes would
+        // be simpler, but the 1F1B interleaving requires per-rank sequencing, so we
+        // instead process ranks in pipeline-stage order and, within a rank, walk its
+        // schedule; cross-stage dependencies are resolved through the `fwd_out` /
+        // `bwd_out` maps which are guaranteed to be populated because a stage's
+        // forward (backward) op for micro-batch m can only be reached after the
+        // previous (next) stage has already scheduled its own op for m in an earlier
+        // (later) position — we therefore build in two sweeps.
+        //
+        // Sweep 1 creates all forward-direction tasks in stage order; sweep 2 creates
+        // all backward-direction tasks in reverse stage order; sweep 3 stitches the
+        // per-rank 1F1B ordering by adding ordering dependencies between compute tasks
+        // according to the schedule (forward of mb f cannot start before the backward
+        // of mb b that precedes it in the schedule).
+
+        // ---- Sweep 1: forward passes, stage order.
+        for stage in 0..num_stages {
+            for rank in all_ranks.iter().copied() {
+                if mapping.pipeline_stage_of(rank.0) != stage {
+                    continue;
+                }
+                for mb in 0..num_mb {
+                    self.build_forward(
+                        &mut st,
+                        &mapping,
+                        &lookup,
+                        rank,
+                        stage,
+                        mb,
+                        layers_per_stage,
+                        fsdp,
+                        &mut fwd_recv,
+                        &mut fwd_out,
+                        &mut ag_done,
+                    );
+                }
+            }
+        }
+
+        // ---- Sweep 2: backward passes, reverse stage order.
+        for stage in (0..num_stages).rev() {
+            for rank in all_ranks.iter().copied() {
+                if mapping.pipeline_stage_of(rank.0) != stage {
+                    continue;
+                }
+                for mb in 0..num_mb {
+                    self.build_backward(
+                        &mut st,
+                        &mapping,
+                        &lookup,
+                        rank,
+                        stage,
+                        mb,
+                        layers_per_stage,
+                        fsdp,
+                        plain_dp,
+                        &fwd_out,
+                        &mut bwd_recv,
+                        &mut bwd_out,
+                    );
+                }
+            }
+        }
+
+        // ---- Sweep 3: enforce the per-rank 1F1B ordering between forward and
+        // backward compute blocks (the data dependencies added so far already order
+        // forward-before-backward of the same micro-batch; the schedule additionally
+        // orders backwards before later forwards on the same rank).
+        self.add_schedule_ordering(&mut st, &mapping, num_stages, num_mb);
+
+        // ---- Epilogue: optimizer synchronization collectives and the optimizer step.
+        self.build_epilogue(&mut st, &mapping, &lookup, fsdp || plain_dp);
+
+        let dag = TrainingDag {
+            tasks: st.tasks,
+            groups,
+            config: self.parallel.clone(),
+        };
+        debug_assert_eq!(dag.validate(), Ok(()));
+        dag
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_forward<'a>(
+        &self,
+        st: &mut BuildState,
+        mapping: &RankMapping,
+        lookup: &impl Fn(GpuId, ParallelismAxis) -> Option<&'a CommGroup>,
+        rank: GpuId,
+        stage: u32,
+        mb: u32,
+        layers_per_stage: u32,
+        fsdp: bool,
+        fwd_recv: &mut HashMap<(GpuId, u32), TaskId>,
+        fwd_out: &mut HashMap<(GpuId, u32), TaskId>,
+        ag_done: &mut HashMap<(GpuId, u32), TaskId>,
+    ) {
+        let p = &self.parallel;
+        // Receive the activation from the previous stage (if any).
+        let recv_task = if stage > 0 {
+            let prev_rank = GpuId(mapping.pipeline_prev(rank.0).expect("stage > 0 has a predecessor"));
+            let src_out = fwd_out
+                .get(&(prev_rank, mb))
+                .copied()
+                .expect("previous stage forward must be built first");
+            let id = st.add_p2p(
+                prev_rank,
+                rank,
+                ParallelismAxis::Pipeline,
+                self.sizes.pp_sendrecv_per_microbatch,
+                vec![src_out],
+                format!("PP-fwd s{}->s{} mb{mb}", stage - 1, stage),
+                Some(mb),
+            );
+            fwd_recv.insert((rank, mb), id);
+            Some(id)
+        } else {
+            None
+        };
+
+        let mut prev_layer_task: Option<TaskId> = recv_task;
+        for l in 0..layers_per_stage {
+            let global_layer = stage * layers_per_stage + l;
+            let mut deps = Vec::new();
+            if let Some(prev) = prev_layer_task {
+                deps.push(prev);
+            }
+
+            // FSDP parameter AllGather for this layer (first micro-batch only; the
+            // gathered parameters are reused by later micro-batches). Honour the lazy
+            // DTensor behaviour: a non-zero stage's AllGathers wait for the first
+            // activation to arrive.
+            if fsdp && mb == 0 {
+                if let Some(group) = lookup(rank, ParallelismAxis::Data) {
+                    if !group.is_trivial() {
+                        let mut ag_deps = Vec::new();
+                        if let Some(recv) = recv_task {
+                            ag_deps.push(recv);
+                        }
+                        let ag = st.add_collective(
+                            group,
+                            CollectiveKind::AllGather,
+                            self.sizes.fsdp_allgather_per_layer,
+                            ag_deps,
+                            format!("FSDP-AG s{stage} L{global_layer}"),
+                            Some(mb),
+                            Some(global_layer),
+                        );
+                        ag_done.insert((rank, global_layer), ag);
+                    }
+                }
+            }
+            if let Some(ag) = ag_done.get(&(rank, global_layer)) {
+                deps.push(*ag);
+            }
+
+            // Context-parallel KV AllGather before the layer's attention.
+            if p.context > 1 {
+                if let Some(group) = lookup(rank, ParallelismAxis::Context) {
+                    let cp = st.add_collective(
+                        group,
+                        CollectiveKind::AllGather,
+                        self.sizes.cp_allgather_per_layer,
+                        deps.clone(),
+                        format!("CP-AG s{stage} mb{mb} L{global_layer}"),
+                        Some(mb),
+                        Some(global_layer),
+                    );
+                    deps.push(cp);
+                }
+            }
+
+            // The layer's forward computation.
+            let fwd = st.add_compute(
+                rank,
+                self.compute.layer_forward,
+                deps,
+                format!("fwd s{stage} mb{mb} L{global_layer}"),
+                Some(mb),
+                Some(global_layer),
+            );
+            let mut layer_tail = fwd;
+
+            // Expert-parallel AllToAll (token routing) inside MoE layers.
+            if p.expert > 1 && self.model.is_moe() {
+                if let Some(group) = lookup(rank, ParallelismAxis::Expert) {
+                    let a2a = st.add_collective(
+                        group,
+                        CollectiveKind::AllToAll,
+                        self.sizes.ep_alltoall_per_layer,
+                        vec![layer_tail],
+                        format!("EP-A2A s{stage} mb{mb} L{global_layer}"),
+                        Some(mb),
+                        Some(global_layer),
+                    );
+                    layer_tail = a2a;
+                }
+            }
+
+            // Tensor-parallel activation collective closing the layer.
+            if p.tensor > 1 {
+                if let Some(group) = lookup(rank, ParallelismAxis::Tensor) {
+                    let kind = if p.sequence_parallel {
+                        CollectiveKind::ReduceScatter
+                    } else {
+                        CollectiveKind::AllReduce
+                    };
+                    let tp = st.add_collective(
+                        group,
+                        kind,
+                        self.sizes.tp_allreduce_per_layer,
+                        vec![layer_tail],
+                        format!("TP-{} s{stage} mb{mb} L{global_layer}", kind.short_name()),
+                        Some(mb),
+                        Some(global_layer),
+                    );
+                    layer_tail = tp;
+                }
+            }
+
+            prev_layer_task = Some(layer_tail);
+        }
+
+        fwd_out.insert((rank, mb), prev_layer_task.expect("at least one layer per stage"));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_backward<'a>(
+        &self,
+        st: &mut BuildState,
+        mapping: &RankMapping,
+        lookup: &impl Fn(GpuId, ParallelismAxis) -> Option<&'a CommGroup>,
+        rank: GpuId,
+        stage: u32,
+        mb: u32,
+        layers_per_stage: u32,
+        fsdp: bool,
+        plain_dp: bool,
+        fwd_out: &HashMap<(GpuId, u32), TaskId>,
+        bwd_recv: &mut HashMap<(GpuId, u32), TaskId>,
+        bwd_out: &mut HashMap<(GpuId, u32), TaskId>,
+    ) {
+        let p = &self.parallel;
+        let num_stages = p.pipeline;
+        let last_mb = p.num_microbatches - 1;
+
+        // The backward pass starts from the gradient coming back from the next stage
+        // (or, on the last stage, directly from this rank's own forward output).
+        let grad_in = if stage + 1 < num_stages {
+            let next_rank = GpuId(mapping.pipeline_next(rank.0).expect("not the last stage"));
+            let src_out = bwd_out
+                .get(&(next_rank, mb))
+                .copied()
+                .expect("next stage backward must be built first");
+            let id = st.add_p2p(
+                next_rank,
+                rank,
+                ParallelismAxis::Pipeline,
+                self.sizes.pp_sendrecv_per_microbatch,
+                vec![src_out],
+                format!("PP-bwd s{}->s{} mb{mb}", stage + 1, stage),
+                Some(mb),
+            );
+            bwd_recv.insert((rank, mb), id);
+            id
+        } else {
+            fwd_out
+                .get(&(rank, mb))
+                .copied()
+                .expect("forward output of the last stage must exist")
+        };
+
+        let mut prev_layer_task = grad_in;
+        // Backward walks the layers in reverse order.
+        for l in (0..layers_per_stage).rev() {
+            let global_layer = stage * layers_per_stage + l;
+            let deps = vec![prev_layer_task];
+
+            let bwd = st.add_compute(
+                rank,
+                self.compute.layer_backward,
+                deps,
+                format!("bwd s{stage} mb{mb} L{global_layer}"),
+                Some(mb),
+                Some(global_layer),
+            );
+            let mut layer_tail = bwd;
+
+            // Tensor-parallel gradient collective.
+            if p.tensor > 1 {
+                if let Some(group) = lookup(rank, ParallelismAxis::Tensor) {
+                    let kind = if p.sequence_parallel {
+                        CollectiveKind::AllGather
+                    } else {
+                        CollectiveKind::AllReduce
+                    };
+                    let tp = st.add_collective(
+                        group,
+                        kind,
+                        self.sizes.tp_allreduce_per_layer,
+                        vec![layer_tail],
+                        format!("TP-bwd-{} s{stage} mb{mb} L{global_layer}", kind.short_name()),
+                        Some(mb),
+                        Some(global_layer),
+                    );
+                    layer_tail = tp;
+                }
+            }
+
+            // Expert-parallel backward AllToAll.
+            if p.expert > 1 && self.model.is_moe() {
+                if let Some(group) = lookup(rank, ParallelismAxis::Expert) {
+                    let a2a = st.add_collective(
+                        group,
+                        CollectiveKind::AllToAll,
+                        self.sizes.ep_alltoall_per_layer,
+                        vec![layer_tail],
+                        format!("EP-bwd-A2A s{stage} mb{mb} L{global_layer}"),
+                        Some(mb),
+                        Some(global_layer),
+                    );
+                    layer_tail = a2a;
+                }
+            }
+
+            // Gradient reduction across the data-parallel group, once the last
+            // micro-batch has accumulated this layer's gradient. The reduction runs on
+            // its own communication stream (it overlaps with the remaining backward
+            // compute), so it is deliberately *not* part of the compute chain — only
+            // the optimizer epilogue waits for it, via the Data-axis comm tail.
+            if mb == last_mb {
+                if let Some(group) = lookup(rank, ParallelismAxis::Data) {
+                    if !group.is_trivial() {
+                        if fsdp {
+                            st.add_collective(
+                                group,
+                                CollectiveKind::ReduceScatter,
+                                self.sizes.fsdp_reducescatter_per_layer,
+                                vec![bwd],
+                                format!("FSDP-RS s{stage} L{global_layer}"),
+                                Some(mb),
+                                Some(global_layer),
+                            );
+                        } else if plain_dp {
+                            st.add_collective(
+                                group,
+                                CollectiveKind::AllReduce,
+                                self.sizes.dp_allreduce_per_layer,
+                                vec![bwd],
+                                format!("DP-AR s{stage} L{global_layer}"),
+                                Some(mb),
+                                Some(global_layer),
+                            );
+                        }
+                    }
+                }
+            }
+
+            prev_layer_task = layer_tail;
+        }
+
+        // Send the activation gradient to the previous stage.
+        if stage > 0 {
+            // The gradient leaving the stage is produced by the backward of its first
+            // layer; `prev_layer_task` currently points at the last thing issued for
+            // that layer (which may be a ReduceScatter); using it keeps the pipeline
+            // conservative and matches the sequential ordering observed in Fig. 3.
+            bwd_out.insert((rank, mb), prev_layer_task);
+        } else {
+            bwd_out.insert((rank, mb), prev_layer_task);
+        }
+    }
+
+    /// Adds ordering dependencies that realize the per-rank 1F1B schedule: the first
+    /// compute task of schedule op *k* depends on the last compute task of op *k − 1*.
+    /// (Most of these edges already exist through data dependencies; the ones that do
+    /// not — e.g. "forward of micro-batch 2 waits for the backward of micro-batch 0 on
+    /// this rank" — are what creates the pipeline's interleaving.)
+    fn add_schedule_ordering(
+        &self,
+        st: &mut BuildState,
+        mapping: &RankMapping,
+        num_stages: u32,
+        num_mb: u32,
+    ) {
+        // Index compute tasks by (rank, direction, microbatch, layer).
+        let mut first_of_op: HashMap<(GpuId, bool, u32), TaskId> = HashMap::new();
+        let mut last_of_op: HashMap<(GpuId, bool, u32), TaskId> = HashMap::new();
+        for task in &st.tasks {
+            if let TaskKind::Compute { .. } = task.kind {
+                if let (Some(mb), Some(_layer)) = (task.microbatch, task.layer) {
+                    let rank = task.participants[0];
+                    let is_fwd = task.label.starts_with("fwd");
+                    let is_bwd = task.label.starts_with("bwd");
+                    if !is_fwd && !is_bwd {
+                        continue;
+                    }
+                    let key = (rank, is_fwd, mb);
+                    first_of_op.entry(key).or_insert(task.id);
+                    last_of_op.insert(key, task.id);
+                }
+            }
+        }
+        for rank_idx in 0..mapping.world_size() {
+            let rank = GpuId(rank_idx);
+            let stage = mapping.pipeline_stage_of(rank_idx);
+            let ops = self.schedule.ops(stage, num_stages, num_mb);
+            for pair in ops.windows(2) {
+                let (prev, next) = (pair[0], pair[1]);
+                let prev_key = (rank, prev.is_forward(), prev.microbatch());
+                let next_key = (rank, next.is_forward(), next.microbatch());
+                if let (Some(&prev_last), Some(&next_first)) =
+                    (last_of_op.get(&prev_key), first_of_op.get(&next_key))
+                {
+                    let task = &mut st.tasks[next_first.0 as usize];
+                    if !task.deps.contains(&prev_last) {
+                        task.deps.push(prev_last);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The optimizer epilogue: small synchronization AllReduces along DP and PP (the
+    /// "<1 MB" bucket of Fig. 4(b)) followed by the local optimizer step.
+    fn build_epilogue<'a>(
+        &self,
+        st: &mut BuildState,
+        mapping: &RankMapping,
+        lookup: &impl Fn(GpuId, ParallelismAxis) -> Option<&'a CommGroup>,
+        has_dp: bool,
+    ) {
+        let world = mapping.world_size();
+        // Snapshot the per-rank tails so every epilogue collective waits for that
+        // rank's complete backward pass (compute and gradient reductions).
+        let compute_tails: Vec<Option<TaskId>> = (0..world)
+            .map(|r| st.compute_tail.get(&GpuId(r)).copied())
+            .collect();
+        let data_tails: Vec<Option<TaskId>> = (0..world)
+            .map(|r| st.comm_tail.get(&(GpuId(r), ParallelismAxis::Data)).copied())
+            .collect();
+
+        for rank_idx in 0..world {
+            let rank = GpuId(rank_idx);
+            let mut deps: Vec<TaskId> = Vec::new();
+            if let Some(t) = compute_tails[rank_idx as usize] {
+                deps.push(t);
+            }
+            if let Some(t) = data_tails[rank_idx as usize] {
+                deps.push(t);
+            }
+
+            let mut tail_deps = deps.clone();
+            // Grad-norm AllReduce along the data-parallel group. Every member "joins"
+            // the same collective instance (deduplicated per group by the builder).
+            if has_dp {
+                if let Some(group) = lookup(rank, ParallelismAxis::Data) {
+                    if !group.is_trivial() {
+                        let ar = st.add_collective(
+                            group,
+                            CollectiveKind::AllReduce,
+                            self.sizes.sync_allreduce,
+                            deps.clone(),
+                            "sync-AR DP (grad norm)".to_string(),
+                            None,
+                            None,
+                        );
+                        tail_deps.push(ar);
+                    }
+                }
+            }
+            // Loss / numerics AllReduce along the pipeline group.
+            if self.parallel.pipeline > 1 {
+                if let Some(group) = lookup(rank, ParallelismAxis::Pipeline) {
+                    let ar = st.add_collective(
+                        group,
+                        CollectiveKind::AllReduce,
+                        self.sizes.sync_allreduce,
+                        deps.clone(),
+                        "sync-AR PP (loss)".to_string(),
+                        None,
+                        None,
+                    );
+                    tail_deps.push(ar);
+                }
+            }
+
+            // The local optimizer step.
+            st.add_compute(
+                rank,
+                self.compute.optimizer_step,
+                tail_deps,
+                format!("optimizer step r{rank_idx}"),
+                None,
+                None,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::GpuSpec;
+
+    fn paper_dag() -> TrainingDag {
+        let model = ModelConfig::llama3_8b();
+        let parallel = ParallelismConfig::paper_llama3_8b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        DagBuilder::new(model, parallel, compute).build()
+    }
+
+    fn tiny_dag(parallel: ParallelismConfig) -> TrainingDag {
+        let model = ModelConfig::tiny_test();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        DagBuilder::new(model, parallel, compute).build()
+    }
+
+    #[test]
+    fn paper_dag_is_valid_and_acyclic() {
+        let dag = paper_dag();
+        assert!(dag.validate().is_ok());
+        assert!(dag.topological_order().is_some());
+        assert!(dag.len() > 1000, "the 16-rank Llama3-8B DAG should be sizable, got {}", dag.len());
+    }
+
+    #[test]
+    fn paper_dag_contains_every_traffic_class_of_fig3() {
+        let dag = paper_dag();
+        let labels: Vec<&str> = dag.tasks.iter().map(|t| t.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("FSDP-AG")));
+        assert!(labels.iter().any(|l| l.starts_with("FSDP-RS")));
+        assert!(labels.iter().any(|l| l.starts_with("PP-fwd")));
+        assert!(labels.iter().any(|l| l.starts_with("PP-bwd")));
+        assert!(labels.iter().any(|l| l.starts_with("TP-")));
+        assert!(labels.iter().any(|l| l.starts_with("sync-AR")));
+        assert!(labels.iter().any(|l| l.starts_with("optimizer step")));
+    }
+
+    #[test]
+    fn forward_send_counts_match_pipeline_structure() {
+        // PP=2, DP=2, TP=4, 2 micro-batches: forward sends = (PP-1) * DP * TP * MB = 16.
+        let dag = paper_dag();
+        let fwd_sends = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("PP-fwd"))
+            .count();
+        let bwd_sends = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("PP-bwd"))
+            .count();
+        assert_eq!(fwd_sends, 16);
+        assert_eq!(bwd_sends, 16);
+    }
+
+    #[test]
+    fn fsdp_collective_counts() {
+        // One AllGather per layer per DP group: each pipeline stage owns 16 layers and
+        // has 4 DP groups (one per TP shard), so 2 stages * 16 layers * 4 groups = 128.
+        // ReduceScatter mirrors that count.
+        let dag = paper_dag();
+        let ags = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("FSDP-AG"))
+            .count();
+        let rss = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("FSDP-RS"))
+            .count();
+        assert_eq!(ags, 128);
+        assert_eq!(rss, 128);
+    }
+
+    #[test]
+    fn tp_collectives_are_shared_per_group() {
+        // One TP collective per (group, layer, micro-batch, direction):
+        // 4 TP groups * 16 layers (their stage's) * 2 micro-batches * 2 directions = 256.
+        let dag = paper_dag();
+        let tp = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("TP-"))
+            .count();
+        assert_eq!(tp, 256);
+    }
+
+    #[test]
+    fn sync_allreduce_counts() {
+        // One grad-norm AR per DP group (8) and one loss AR per PP group (8).
+        let dag = paper_dag();
+        let dp_sync = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("sync-AR DP"))
+            .count();
+        let pp_sync = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with("sync-AR PP"))
+            .count();
+        assert_eq!(dp_sync, 8);
+        assert_eq!(pp_sync, 8);
+    }
+
+    #[test]
+    fn dp_only_dag_has_no_pipeline_traffic() {
+        let parallel = ParallelismConfig::data_only(4);
+        let dag = tiny_dag(parallel);
+        assert!(dag.validate().is_ok());
+        assert!(!dag.tasks.iter().any(|t| t.label.starts_with("PP-")));
+        assert!(dag.tasks.iter().any(|t| t.label.starts_with("DP-AR")));
+    }
+
+    #[test]
+    fn single_gpu_dag_has_no_communication() {
+        let parallel = ParallelismConfig::data_only(1);
+        let dag = tiny_dag(parallel);
+        assert!(dag.validate().is_ok());
+        assert_eq!(dag.communication_tasks().count(), 0);
+        assert!(dag.compute_tasks().count() > 0);
+    }
+
+    #[test]
+    fn collective_participants_match_group_members() {
+        let dag = paper_dag();
+        for task in dag.communication_tasks() {
+            if let TaskKind::Collective { group, .. } = &task.kind {
+                let g = dag.group(*group);
+                assert_eq!(task.participants, g.ranks, "task {} participants", task.label);
+            }
+        }
+    }
+
+    #[test]
+    fn dependencies_always_point_backwards_in_creation_order_or_are_acyclic() {
+        let dag = paper_dag();
+        // Not all deps are strictly backwards (schedule ordering may add edges), but
+        // the graph must be acyclic, which validate() already checks; here we verify
+        // that every dependency id is distinct from the task itself.
+        for task in &dag.tasks {
+            assert!(!task.deps.contains(&task.id));
+        }
+    }
+
+    #[test]
+    fn total_communication_volume_is_dominated_by_fsdp() {
+        let dag = paper_dag();
+        let total = dag.total_communication_bytes().as_gb_f64();
+        // 256 AGs of ~109 MB + 256 RSs of ~218 MB plus TP/PP traffic: tens of GB.
+        assert!(total > 20.0, "expected tens of GB of traffic, got {total} GB");
+    }
+
+    #[test]
+    fn moe_dag_contains_alltoall() {
+        let parallel = ParallelismConfig {
+            tensor: 2,
+            sequence_parallel: false,
+            context: 1,
+            expert: 2,
+            data: 2,
+            data_kind: DataParallelKind::FullySharded,
+            pipeline: 1,
+            num_microbatches: 1,
+            microbatch_size: 1,
+            seq_len: 2048,
+        };
+        let model = ModelConfig::mixtral_8x7b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        let dag = DagBuilder::new(model, parallel, compute).build();
+        assert!(dag.validate().is_ok());
+        assert!(dag.tasks.iter().any(|t| t.label.contains("EP-")));
+    }
+
+    #[test]
+    fn gpipe_schedule_builds_valid_dag() {
+        let model = ModelConfig::tiny_test();
+        let parallel = ParallelismConfig {
+            pipeline: 2,
+            data: 1,
+            tensor: 2,
+            num_microbatches: 4,
+            ..ParallelismConfig::paper_llama3_8b()
+        };
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        let dag = DagBuilder::new(model, parallel, compute)
+            .with_schedule(PipelineSchedule::GPipe)
+            .build();
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn tasks_of_rank_returns_only_participating_tasks() {
+        let dag = paper_dag();
+        let tasks = dag.tasks_of_rank(GpuId(0));
+        assert!(!tasks.is_empty());
+        for t in tasks {
+            assert!(t.participants.contains(&GpuId(0)));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-parallelism traffic characterization (Table 2 of the paper).
+//!
+//! Table 2 summarizes, for every parallelism strategy, what it saves (memory, compute)
+//! and what it costs in communication: which collectives, in which pass, at which
+//! frequency. [`table2_rows`] reproduces that table for a concrete model and
+//! parallelism configuration, attaching the actual per-collective byte counts computed
+//! by [`crate::sizes::TrafficSizes`].
+
+use crate::model::ModelConfig;
+use crate::parallelism::ParallelismConfig;
+use crate::sizes::TrafficSizes;
+use railsim_collectives::CollectiveKind;
+use railsim_sim::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// When a collective fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pass {
+    /// Forward pass only.
+    Forward,
+    /// Backward pass only.
+    Backward,
+    /// Both passes.
+    Both,
+}
+
+/// How often a collective fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frequency {
+    /// Once per transformer layer.
+    PerLayer,
+    /// Once per operator (twice or more per layer).
+    PerOperator,
+    /// Once per micro-batch.
+    PerMicrobatch,
+    /// Once per model (per iteration).
+    PerModel,
+}
+
+/// One row of Table 2: the communication profile of a parallelism strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismTrafficRow {
+    /// Strategy name ("DP", "FSDP", "TP", "TP & SP", "CP", "PP", "EP").
+    pub strategy: &'static str,
+    /// What the strategy reduces in memory (free-text, mirrors the paper's table).
+    pub memory_reduction: &'static str,
+    /// What the strategy reduces in compute.
+    pub compute_reduction: &'static str,
+    /// The collectives it issues.
+    pub collectives: Vec<CollectiveKind>,
+    /// Which pass the collectives run in.
+    pub pass: Pass,
+    /// How often they fire.
+    pub frequency: Frequency,
+    /// Representative per-collective volume for the given model/parallelism.
+    pub volume: Bytes,
+}
+
+/// Builds Table 2 for a concrete model and parallelism configuration.
+pub fn table2_rows(model: &ModelConfig, parallel: &ParallelismConfig) -> Vec<ParallelismTrafficRow> {
+    let sizes = TrafficSizes::derive(model, parallel);
+    vec![
+        ParallelismTrafficRow {
+            strategy: "DP",
+            memory_reduction: "gbs/dp",
+            compute_reduction: "gbs/dp",
+            collectives: vec![CollectiveKind::AllReduce],
+            pass: Pass::Backward,
+            frequency: Frequency::PerLayer,
+            volume: sizes.dp_allreduce_per_layer,
+        },
+        ParallelismTrafficRow {
+            strategy: "FSDP",
+            memory_reduction: "gbs/dp, params/dp",
+            compute_reduction: "gbs/dp",
+            collectives: vec![CollectiveKind::AllGather, CollectiveKind::ReduceScatter],
+            pass: Pass::Both,
+            frequency: Frequency::PerLayer,
+            volume: sizes.fsdp_allgather_per_layer,
+        },
+        ParallelismTrafficRow {
+            strategy: "TP",
+            memory_reduction: "params/tp, grads/tp, optims/tp",
+            compute_reduction: "params/tp",
+            collectives: vec![CollectiveKind::AllReduce],
+            pass: Pass::Both,
+            frequency: Frequency::PerOperator,
+            volume: sizes.tp_allreduce_per_layer,
+        },
+        ParallelismTrafficRow {
+            strategy: "TP & SP",
+            memory_reduction: "params/tp, grads/tp, optims/tp, activs/tp",
+            compute_reduction: "params/tp, activs/tp",
+            collectives: vec![CollectiveKind::AllGather, CollectiveKind::ReduceScatter],
+            pass: Pass::Both,
+            frequency: Frequency::PerOperator,
+            volume: sizes.tp_allreduce_per_layer,
+        },
+        ParallelismTrafficRow {
+            strategy: "CP",
+            memory_reduction: "kv_cache/cp, seq/cp",
+            compute_reduction: "seq/cp",
+            collectives: vec![CollectiveKind::AllGather, CollectiveKind::ReduceScatter],
+            pass: Pass::Both,
+            frequency: Frequency::PerLayer,
+            volume: sizes.cp_allgather_per_layer,
+        },
+        ParallelismTrafficRow {
+            strategy: "PP",
+            memory_reduction: "params/pp, grads/pp, optims/pp, activs/pp",
+            compute_reduction: "params/pp",
+            collectives: vec![CollectiveKind::SendRecv],
+            pass: Pass::Both,
+            frequency: Frequency::PerMicrobatch,
+            volume: sizes.pp_sendrecv_per_microbatch,
+        },
+        ParallelismTrafficRow {
+            strategy: "EP",
+            memory_reduction: "experts/ep",
+            compute_reduction: "experts/ep",
+            collectives: vec![CollectiveKind::AllToAll],
+            pass: Pass::Both,
+            frequency: Frequency::PerLayer,
+            volume: sizes.ep_alltoall_per_layer,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<ParallelismTrafficRow> {
+        table2_rows(
+            &ModelConfig::llama3_8b(),
+            &ParallelismConfig::paper_llama3_8b(),
+        )
+    }
+
+    #[test]
+    fn table_has_all_seven_strategies() {
+        let rows = rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.strategy).collect();
+        assert_eq!(names, vec!["DP", "FSDP", "TP", "TP & SP", "CP", "PP", "EP"]);
+    }
+
+    #[test]
+    fn collective_kinds_match_the_paper() {
+        let rows = rows();
+        let by_name = |n: &str| rows.iter().find(|r| r.strategy == n).unwrap();
+        assert_eq!(by_name("DP").collectives, vec![CollectiveKind::AllReduce]);
+        assert_eq!(
+            by_name("FSDP").collectives,
+            vec![CollectiveKind::AllGather, CollectiveKind::ReduceScatter]
+        );
+        assert_eq!(by_name("PP").collectives, vec![CollectiveKind::SendRecv]);
+        assert_eq!(by_name("EP").collectives, vec![CollectiveKind::AllToAll]);
+    }
+
+    #[test]
+    fn parameter_traffic_exceeds_activation_traffic_for_this_model() {
+        // Layer parameters (FSDP) are larger than a micro-batch's boundary activations
+        // (PP) for Llama3-8B at the paper's batch size.
+        let rows = rows();
+        let fsdp = rows.iter().find(|r| r.strategy == "FSDP").unwrap().volume;
+        let pp = rows.iter().find(|r| r.strategy == "PP").unwrap().volume;
+        assert!(fsdp > pp);
+    }
+
+    #[test]
+    fn only_dp_is_backward_only() {
+        let rows = rows();
+        for row in &rows {
+            if row.strategy == "DP" {
+                assert_eq!(row.pass, Pass::Backward);
+            } else {
+                assert_ne!(row.pass, Pass::Backward, "{} should not be backward-only", row.strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn pp_is_the_only_per_microbatch_strategy() {
+        let rows = rows();
+        for row in &rows {
+            let is_pp = row.strategy == "PP";
+            assert_eq!(row.frequency == Frequency::PerMicrobatch, is_pp);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) over the core data structures and invariants:
+//! simulated time arithmetic, the event queue's ordering guarantees, OCS matching
+//! invariants, collective cost-model monotonicity, rank-mapping bijectivity, Clos
+//! sizing bounds and DAG acyclicity across random parallelism configurations.
+
+use photonic_rails::collectives::cost::{collective_time, CostParams};
+use photonic_rails::prelude::*;
+use photonic_rails::sim::{EventQueue, SimRng};
+use photonic_rails::topology::fattree::ClosDimensions;
+use photonic_rails::topology::{Circuit, CircuitConfig, Ocs, PortId};
+use photonic_rails::workload::RankMapping;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- simulated time ----------------------------------------------------------
+
+    #[test]
+    fn simtime_addition_is_monotone(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert!(t + d >= t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_float_roundtrip_is_close(nanos in 0u64..1_000_000_000_000u64) {
+        let d = SimDuration::from_nanos(nanos);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        let diff = back.as_nanos().abs_diff(d.as_nanos());
+        // Round-tripping through f64 seconds must stay within a microsecond.
+        prop_assert!(diff < 1_000, "{nanos} -> {} (diff {diff})", back.as_nanos());
+    }
+
+    // ---- event queue --------------------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(times in proptest::collection::vec(0u64..1_000_000u64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last);
+            last = ev.time;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn event_queue_ties_preserve_insertion_order(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..n {
+            q.push(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    // ---- bandwidth / bytes --------------------------------------------------------
+
+    #[test]
+    fn transfer_time_scales_with_bytes(mb_a in 1u64..10_000, mb_b in 1u64..10_000, gbps in 1.0f64..1600.0) {
+        let bw = Bandwidth::from_gbps(gbps);
+        let (small, large) = if mb_a <= mb_b { (mb_a, mb_b) } else { (mb_b, mb_a) };
+        prop_assert!(bw.transfer_time(Bytes::from_mb(small)) <= bw.transfer_time(Bytes::from_mb(large)));
+    }
+
+    // ---- OCS invariants -----------------------------------------------------------
+
+    #[test]
+    fn ocs_matching_never_reuses_a_port(pairs in proptest::collection::vec((0u32..16, 16u32..32), 1..8), delay_ms in 0u64..100) {
+        // Each generated circuit connects a "left" GPU (0..16) to a "right" GPU (16..32),
+        // so a self-loop is impossible; duplicate ports across circuits are filtered to
+        // keep the requested configuration valid, then the OCS must uphold the matching
+        // invariant after any sequence of installs.
+        let mut used = std::collections::HashSet::new();
+        let mut circuits = Vec::new();
+        for (a, b) in pairs {
+            let pa = PortId::new(GpuId(a), 0);
+            let pb = PortId::new(GpuId(b), 0);
+            if used.insert(pa) && used.insert(pb) {
+                circuits.push(Circuit::new(pa, pb));
+            }
+        }
+        prop_assume!(!circuits.is_empty());
+        let config = CircuitConfig::new(circuits).expect("deduplicated ports form a valid matching");
+        let mut ocs = Ocs::new(64, SimDuration::from_millis(delay_ms));
+        let ready = ocs.install(&config, SimTime::ZERO).expect("radix 64 is large enough");
+        prop_assert_eq!(ready, SimTime::from_millis(delay_ms));
+        // Invariant: every port appears in at most one installed circuit.
+        let mut seen = std::collections::HashSet::new();
+        for (c, _) in ocs.circuits() {
+            prop_assert!(seen.insert(c.a()), "port {} reused", c.a());
+            prop_assert!(seen.insert(c.b()), "port {} reused", c.b());
+        }
+        prop_assert!(ocs.ports_in_use() <= ocs.radix());
+    }
+
+    #[test]
+    fn ocs_reinstall_is_idempotent(delay_ms in 1u64..200) {
+        let a = PortId::new(GpuId(0), 0);
+        let b = PortId::new(GpuId(1), 0);
+        let config = CircuitConfig::new(vec![Circuit::new(a, b)]).unwrap();
+        let mut ocs = Ocs::new(8, SimDuration::from_millis(delay_ms));
+        let first = ocs.install(&config, SimTime::ZERO).unwrap();
+        let again = ocs.install(&config, first).unwrap();
+        prop_assert_eq!(again, first);
+        prop_assert_eq!(ocs.reconfig_count(), 1);
+    }
+
+    // ---- collective cost model ----------------------------------------------------
+
+    #[test]
+    fn collective_time_is_monotone_in_message_size(
+        p in 2usize..512,
+        mb_small in 1u64..1_000,
+        extra in 1u64..1_000,
+    ) {
+        let params = CostParams::new(SimDuration::from_micros(10), Bandwidth::from_gbps(400.0));
+        for kind in [CollectiveKind::AllReduce, CollectiveKind::AllGather, CollectiveKind::AllToAll] {
+            let small = collective_time(kind, Algorithm::Ring, p, Bytes::from_mb(mb_small), &params);
+            let large = collective_time(kind, Algorithm::Ring, p, Bytes::from_mb(mb_small + extra), &params);
+            prop_assert!(large >= small, "{kind} not monotone in size");
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_never_beats_the_serialization_lower_bound(
+        p in 2usize..256,
+        mb in 1u64..4_000,
+    ) {
+        // Any AllReduce must move at least (p-1)/p of the buffer out of each rank once.
+        let params = CostParams::new(SimDuration::ZERO, Bandwidth::from_gbps(400.0));
+        let t = collective_time(CollectiveKind::AllReduce, Algorithm::Ring, p, Bytes::from_mb(mb), &params);
+        let lower = params.bandwidth.transfer_time(Bytes::from_mb(mb)).mul_f64((p as f64 - 1.0) / p as f64);
+        prop_assert!(t >= lower);
+    }
+
+    // ---- rank mapping -------------------------------------------------------------
+
+    #[test]
+    fn rank_mapping_is_a_bijection(tp in 1u32..5, cp in 1u32..3, ep in 1u32..3, dp in 1u32..5, pp in 1u32..5) {
+        let config = ParallelismConfig {
+            tensor: tp,
+            sequence_parallel: false,
+            context: cp,
+            expert: ep,
+            data: dp,
+            data_kind: DataParallelKind::FullySharded,
+            pipeline: pp,
+            num_microbatches: pp.max(1),
+            microbatch_size: 1,
+            seq_len: 128,
+        };
+        let mapping = RankMapping::new(config.clone());
+        let world = config.world_size();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..world {
+            let coords = mapping.coords_of(rank);
+            prop_assert_eq!(mapping.rank_of(coords), rank);
+            prop_assert!(seen.insert(coords));
+        }
+        prop_assert_eq!(seen.len() as u32, world);
+    }
+
+    #[test]
+    fn comm_groups_partition_ranks_along_every_axis(tp in 1u32..4, dp in 1u32..4, pp in 1u32..4) {
+        let config = ParallelismConfig {
+            tensor: tp,
+            sequence_parallel: false,
+            context: 1,
+            expert: 1,
+            data: dp,
+            data_kind: DataParallelKind::FullySharded,
+            pipeline: pp,
+            num_microbatches: pp,
+            microbatch_size: 1,
+            seq_len: 128,
+        };
+        let mapping = RankMapping::new(config.clone());
+        for axis in [ParallelismAxis::Tensor, ParallelismAxis::Data, ParallelismAxis::Pipeline] {
+            let degree = match axis {
+                ParallelismAxis::Tensor => tp,
+                ParallelismAxis::Data => dp,
+                ParallelismAxis::Pipeline => pp,
+                _ => 1,
+            };
+            if degree <= 1 {
+                continue;
+            }
+            let groups = mapping.groups_for_axis(axis);
+            let mut members: Vec<u32> = groups.iter().flatten().copied().collect();
+            members.sort_unstable();
+            prop_assert_eq!(members, (0..config.world_size()).collect::<Vec<_>>());
+        }
+    }
+
+    // ---- Clos sizing --------------------------------------------------------------
+
+    #[test]
+    fn clos_provides_enough_downlinks(endpoints in 1u64..60_000, radix_pow in 5u32..7) {
+        let radix = 2u64.pow(radix_pow); // 32 or 64
+        prop_assume!(endpoints <= radix * radix * radix / 4);
+        let dims = ClosDimensions::size(endpoints, radix);
+        // The leaf tier must expose at least `endpoints` downlinks.
+        let downlinks = if dims.tiers == 1 { radix } else { dims.leaf_switches * (radix / 2) };
+        prop_assert!(downlinks >= endpoints);
+        prop_assert!(dims.total_switches() >= 1);
+    }
+
+    // ---- deterministic RNG --------------------------------------------------------
+
+    #[test]
+    fn sim_rng_is_reproducible(seed in 0u64..u64::MAX, amplitude in 0.0f64..0.5) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..32 {
+            let ja = a.jitter(amplitude);
+            let jb = b.jitter(amplitude);
+            prop_assert_eq!(ja, jb);
+            prop_assert!((1.0 - amplitude - 1e-12..=1.0 + amplitude + 1e-12).contains(&ja));
+        }
+    }
+}
+
+proptest! {
+    // DAG construction is heavier; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_3d_configurations_build_valid_dags(tp in 1u32..3, dp in 1u32..3, pp in 1u32..3, mb_factor in 1u32..3) {
+        let config = ParallelismConfig {
+            tensor: tp,
+            sequence_parallel: true,
+            context: 1,
+            expert: 1,
+            data: dp,
+            data_kind: DataParallelKind::FullySharded,
+            pipeline: pp,
+            num_microbatches: pp * mb_factor,
+            microbatch_size: 1,
+            seq_len: 512,
+        };
+        let model = ModelConfig::tiny_test();
+        let compute = ComputeModel::derive(&model, &config, &GpuSpec::a100());
+        let dag = DagBuilder::new(model, config, compute).build();
+        prop_assert!(dag.validate().is_ok());
+        prop_assert!(dag.topological_order().is_some());
+        // Every communication task's participants are distinct.
+        for task in dag.communication_tasks() {
+            let set: std::collections::HashSet<_> = task.participants.iter().collect();
+            prop_assert_eq!(set.len(), task.participants.len());
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_fixed_seed(latency_ms in 0u64..50, seed in 0u64..1000) {
+        let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
+        let model = ModelConfig::tiny_test();
+        let parallel = ParallelismConfig::paper_llama3_8b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        let dag = DagBuilder::new(model, parallel, compute).build();
+        let config = OpusConfig::provisioned(SimDuration::from_millis(latency_ms))
+            .with_iterations(2)
+            .with_jitter(0.05, seed);
+        let a = OpusSimulator::new(cluster.clone(), dag.clone(), config).run();
+        let b = OpusSimulator::new(cluster, dag, config).run();
+        prop_assert_eq!(a.steady_state_iteration_time(), b.steady_state_iteration_time());
+        prop_assert_eq!(a.total_reconfigs(), b.total_reconfigs());
+    }
+}
