@@ -13,7 +13,11 @@ fn bench_controller(c: &mut Criterion) {
     let planner = CircuitPlanner::for_cluster(&cluster);
     // Two groups sharing GPU 0's port force a tear-down/set-up on every alternation.
     let dp = CommGroup::new(GroupId(0), ParallelismAxis::Data, vec![GpuId(0), GpuId(4)]);
-    let pp = CommGroup::new(GroupId(1), ParallelismAxis::Pipeline, vec![GpuId(0), GpuId(8)]);
+    let pp = CommGroup::new(
+        GroupId(1),
+        ParallelismAxis::Pipeline,
+        vec![GpuId(0), GpuId(8)],
+    );
     let dp_circuits = planner.plan(&cluster, &dp);
     let pp_circuits = planner.plan(&cluster, &pp);
 

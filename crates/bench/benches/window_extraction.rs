@@ -12,7 +12,9 @@ fn bench_window_extraction(c: &mut Criterion) {
     let mut sim = OpusSimulator::new(
         cluster,
         paper_dag(),
-        OpusConfig::electrical().with_iterations(2).with_jitter(0.05, 42),
+        OpusConfig::electrical()
+            .with_iterations(2)
+            .with_jitter(0.05, 42),
     );
     let result = sim.run();
     let records = &result.iterations[1].comm_records;

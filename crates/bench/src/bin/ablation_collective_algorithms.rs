@@ -35,7 +35,15 @@ fn main() {
 
     let mut report = Report::new(
         "Ablation (C1) — AllReduce algorithm completion time (400 Gbps links)",
-        &["group", "message", "ring (ms)", "tree (ms)", "halving-doubling (ms)", "ring degree", "tree degree"],
+        &[
+            "group",
+            "message",
+            "ring (ms)",
+            "tree (ms)",
+            "halving-doubling (ms)",
+            "ring degree",
+            "tree degree",
+        ],
     );
     let mut rows = Vec::new();
     for &p in &group_sizes {

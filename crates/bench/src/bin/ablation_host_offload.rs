@@ -24,14 +24,21 @@ fn main() {
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical().with_iterations(ITERATIONS).with_jitter(0.0, 13),
+        OpusConfig::electrical()
+            .with_iterations(ITERATIONS)
+            .with_jitter(0.0, 13),
     )
     .run();
     let base = baseline.steady_state_iteration_time().as_secs_f64();
 
     let mut report = Report::new(
         "Ablation (§5) — offloading sub-MB collectives to the host network",
-        &["latency (ms)", "provisioned", "provisioned + offload", "reconfigs/iter (plain/offload)"],
+        &[
+            "latency (ms)",
+            "provisioned",
+            "provisioned + offload",
+            "reconfigs/iter (plain/offload)",
+        ],
     );
     let mut rows = Vec::new();
     for latency_ms in [1.0f64, 15.0, 25.0, 100.0, 500.0] {
@@ -39,7 +46,9 @@ fn main() {
         let plain = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::provisioned(latency).with_iterations(ITERATIONS).with_jitter(0.0, 13),
+            OpusConfig::provisioned(latency)
+                .with_iterations(ITERATIONS)
+                .with_jitter(0.0, 13),
         )
         .run();
         let offload = OpusSimulator::new(
@@ -53,8 +62,16 @@ fn main() {
         .run();
         let n_plain = plain.steady_state_iteration_time().as_secs_f64() / base;
         let n_off = offload.steady_state_iteration_time().as_secs_f64() / base;
-        let r_plain = plain.iterations.last().map(|i| i.reconfig_count()).unwrap_or(0);
-        let r_off = offload.iterations.last().map(|i| i.reconfig_count()).unwrap_or(0);
+        let r_plain = plain
+            .iterations
+            .last()
+            .map(|i| i.reconfig_count())
+            .unwrap_or(0);
+        let r_off = offload
+            .iterations
+            .last()
+            .map(|i| i.reconfig_count())
+            .unwrap_or(0);
         report.row(&[
             format!("{latency_ms}"),
             format!("{n_plain:.3}"),

@@ -49,7 +49,13 @@ fn main() {
 
     let mut report = Report::new(
         "Ablation (C2/C3) — static NIC port partitioning on a photonic rail",
-        &["NIC mode", "scale-out axes", "static split feasible?", "BW fraction per axis", "axes that do not fit"],
+        &[
+            "NIC mode",
+            "scale-out axes",
+            "static split feasible?",
+            "BW fraction per axis",
+            "axes that do not fit",
+        ],
     );
     let mut rows = Vec::new();
     for (mode_name, nic, ports) in &modes {
@@ -68,7 +74,11 @@ fn main() {
                 set_name.to_string(),
                 analysis.feasible.to_string(),
                 format!("{fraction:.2}"),
-                if infeasible.is_empty() { "-".into() } else { infeasible.clone() },
+                if infeasible.is_empty() {
+                    "-".into()
+                } else {
+                    infeasible.clone()
+                },
             ]);
             rows.push(PortRow {
                 nic_mode: mode_name.to_string(),
@@ -79,7 +89,9 @@ fn main() {
             });
         }
     }
-    report.note("paper §3: the 4-port split halves per-axis bandwidth (C3) and still cannot admit CP (C2)");
+    report.note(
+        "paper §3: the 4-port split halves per-axis bandwidth (C3) and still cannot admit CP (C2)",
+    );
     report.print();
     println!();
 
@@ -102,7 +114,12 @@ fn main() {
     );
     tm.row(&[
         "reconfigurations / iteration".into(),
-        result.iterations.last().map(|i| i.reconfig_count()).unwrap_or(0).to_string(),
+        result
+            .iterations
+            .last()
+            .map(|i| i.reconfig_count())
+            .unwrap_or(0)
+            .to_string(),
     ]);
     tm.row(&[
         "bandwidth available to the active axis".into(),

@@ -31,7 +31,14 @@ fn main() {
 
     let mut report = Report::new(
         "Ablation — provisioning at a 25 ms piezo OCS (Llama3-8B, TP=4, DP=PP=2)",
-        &["policy", "iter time (s)", "circuit wait (s)", "reconfigs/iter", "requests", "no-op requests"],
+        &[
+            "policy",
+            "iter time (s)",
+            "circuit wait (s)",
+            "reconfigs/iter",
+            "requests",
+            "no-op requests",
+        ],
     );
     let mut rows = Vec::new();
     for config in configs {
@@ -48,8 +55,8 @@ fn main() {
             .map(|i| i.total_circuit_wait.as_secs_f64())
             .sum::<f64>()
             / steady.len() as f64;
-        let reconfigs = steady.iter().map(|i| i.reconfig_count()).sum::<usize>() as f64
-            / steady.len() as f64;
+        let reconfigs =
+            steady.iter().map(|i| i.reconfig_count()).sum::<usize>() as f64 / steady.len() as f64;
         let (requests, noops) = sim
             .controller()
             .map(|c| (c.requests(), c.noop_requests()))

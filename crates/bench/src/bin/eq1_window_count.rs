@@ -8,7 +8,14 @@ use railsim_workload::windows::{llama31_405b_inputs, window_count, WindowCountIn
 fn main() {
     let mut report = Report::new(
         "Eq. 1 — inter-parallelism windows per training iteration",
-        &["configuration", "PP", "layers", "microbatches", "CP/EP", "windows"],
+        &[
+            "configuration",
+            "PP",
+            "layers",
+            "microbatches",
+            "CP/EP",
+            "windows",
+        ],
     );
 
     let configs = [
@@ -53,8 +60,10 @@ fn main() {
 
     let detail = window_count(&llama31_405b_inputs());
     println!();
-    println!("Llama3.1-405B breakdown: PP&FSDP={}, CP/EP&FSDP={}, CP/EP&PP={}, CP&EP={}, transitions={}",
-        detail.pp_fsdp, detail.cpep_fsdp, detail.cpep_pp, detail.cp_ep, detail.state_transitions);
+    println!(
+        "Llama3.1-405B breakdown: PP&FSDP={}, CP/EP&FSDP={}, CP/EP&PP={}, CP&EP={}, transitions={}",
+        detail.pp_fsdp, detail.cpep_fsdp, detail.cpep_pp, detail.cp_ep, detail.state_transitions
+    );
 
     Report::write_json("eq1_window_count", &rows);
 }

@@ -24,16 +24,17 @@ fn main() {
         "communication tasks".into(),
         dag.communication_tasks().count().to_string(),
     ]);
-    summary.row(&[
-        "communication groups".into(),
-        dag.groups.len().to_string(),
-    ]);
+    summary.row(&["communication groups".into(), dag.groups.len().to_string()]);
     summary.row(&[
         "total traffic".into(),
         dag.total_communication_bytes().to_string(),
     ]);
     for prefix in ["FSDP-AG", "FSDP-RS", "TP-", "PP-fwd", "PP-bwd", "sync-AR"] {
-        let count = dag.tasks.iter().filter(|t| t.label.starts_with(prefix)).count();
+        let count = dag
+            .tasks
+            .iter()
+            .filter(|t| t.label.starts_with(prefix))
+            .count();
         summary.row(&[format!("{prefix}* tasks"), count.to_string()]);
     }
     summary.print();

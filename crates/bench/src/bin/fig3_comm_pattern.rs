@@ -30,7 +30,9 @@ fn run_variant(name: &str, parallel: ParallelismConfig, rows: &mut Vec<PhaseRow>
     let dag = DagBuilder::new(model, parallel.clone(), compute).build();
 
     // Electrical fabric: Fig. 3 shows the application's intrinsic pattern.
-    let config = OpusConfig::electrical().with_iterations(1).with_jitter(0.0, 1);
+    let config = OpusConfig::electrical()
+        .with_iterations(1)
+        .with_jitter(0.0, 1);
     let mut sim = OpusSimulator::new(cluster, dag, config);
     let result = sim.run();
     let it = &result.iterations[0];
@@ -53,7 +55,10 @@ fn run_variant(name: &str, parallel: ParallelismConfig, rows: &mut Vec<PhaseRow>
             phase.operations.to_string(),
         ]);
         rows.push(PhaseRow {
-            variant: name.trim_start_matches(['(', ' ']).trim_end_matches(')').to_string(),
+            variant: name
+                .trim_start_matches(['(', ' '])
+                .trim_end_matches(')')
+                .to_string(),
             rail: 0,
             axis: phase.axis.to_string(),
             start_ms: phase.first_issue.as_millis_f64(),

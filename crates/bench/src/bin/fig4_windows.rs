@@ -39,7 +39,14 @@ fn main() {
     // (a) CDF of window sizes per rail.
     let mut cdf_report = Report::new(
         "Fig. 4(a) — CDF of inter-parallelism window sizes (10 iterations)",
-        &["rail", "windows", "p25 (ms)", "median (ms)", "p75 (ms)", "fraction > 1 ms"],
+        &[
+            "rail",
+            "windows",
+            "p25 (ms)",
+            "median (ms)",
+            "p75 (ms)",
+            "fraction > 1 ms",
+        ],
     );
     let mut cdf_points = Vec::new();
     for rail in cluster.all_rails() {
@@ -75,10 +82,19 @@ fn main() {
         .flat_map(|it| windows_on_rail(&it.comm_records, RailId(0)))
         .collect();
     let buckets = windows_by_following_traffic(&rail0_windows, default_traffic_buckets_mb());
-    let labels = ["<1 MB (sync AR)", "1-200 MB (PP Send/Recv)", "0.2-2.5 GB (DP AllGather)", ">2.5 GB (DP ReduceScatter)"];
+    let labels = [
+        "<1 MB (sync AR)",
+        "1-200 MB (PP Send/Recv)",
+        "0.2-2.5 GB (DP AllGather)",
+        ">2.5 GB (DP ReduceScatter)",
+    ];
     let mut bucket_report = Report::new(
         "Fig. 4(b) — rail-0 windows by following traffic volume",
-        &["traffic after window", "windows / iteration", "avg window (ms)"],
+        &[
+            "traffic after window",
+            "windows / iteration",
+            "avg window (ms)",
+        ],
     );
     let mut bucket_rows = Vec::new();
     for (summary, label) in buckets.buckets().iter().zip(labels) {

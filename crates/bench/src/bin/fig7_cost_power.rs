@@ -11,11 +11,23 @@ fn main() {
 
     let mut cost_report = Report::new(
         "Fig. 7 (left) — GPU-backend network cost (USD)",
-        &["# GPUs", "Fat-tree", "Rail-optimized", "Opus", "Opus saving vs rail"],
+        &[
+            "# GPUs",
+            "Fat-tree",
+            "Rail-optimized",
+            "Opus",
+            "Opus saving vs rail",
+        ],
     );
     let mut power_report = Report::new(
         "Fig. 7 (right) — GPU-backend network power (W)",
-        &["# GPUs", "Fat-tree", "Rail-optimized", "Opus", "Opus saving vs rail"],
+        &[
+            "# GPUs",
+            "Fat-tree",
+            "Rail-optimized",
+            "Opus",
+            "Opus saving vs rail",
+        ],
     );
     for &n in &sizes {
         let get = |kind: FabricKind| -> &FabricCost {
@@ -42,7 +54,8 @@ fn main() {
         ]);
     }
     cost_report.note("paper headline (§6): up to 70.5% cost saving vs the electrical rail fabric");
-    power_report.note("paper headline (§6): up to 95.84% power saving vs the electrical rail fabric");
+    power_report
+        .note("paper headline (§6): up to 95.84% power saving vs the electrical rail fabric");
     cost_report.print();
     println!();
     power_report.print();

@@ -35,7 +35,12 @@ fn main() {
 
     let mut report = Report::new(
         "Fig. 8 — normalized iteration time vs reconfiguration latency (Llama3-8B, TP=4, DP=PP=2)",
-        &["latency (ms)", "without provisioning", "with provisioning", "reconfigs/iter"],
+        &[
+            "latency (ms)",
+            "without provisioning",
+            "with provisioning",
+            "reconfigs/iter",
+        ],
     );
     report.row(&[
         "0 (electrical baseline)".to_string(),
@@ -63,10 +68,10 @@ fn main() {
                 .with_jitter(0.0, 1),
         )
         .run();
-        let norm_od = on_demand.steady_state_iteration_time().as_secs_f64()
-            / baseline_time.as_secs_f64();
-        let norm_pr = provisioned.steady_state_iteration_time().as_secs_f64()
-            / baseline_time.as_secs_f64();
+        let norm_od =
+            on_demand.steady_state_iteration_time().as_secs_f64() / baseline_time.as_secs_f64();
+        let norm_pr =
+            provisioned.steady_state_iteration_time().as_secs_f64() / baseline_time.as_secs_f64();
         let steady_iters = (ITERATIONS - 1).max(1) as f64;
         let reconf_od = on_demand
             .iterations

@@ -16,7 +16,11 @@ fn main() {
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
             .join(", or ");
-        report.row(&[rec.model_class.to_string(), rec.gpu_range.to_string(), strategies]);
+        report.row(&[
+            rec.model_class.to_string(),
+            rec.gpu_range.to_string(),
+            strategies,
+        ]);
     }
     report.print();
     Report::write_json("table1_strategies", &rows);

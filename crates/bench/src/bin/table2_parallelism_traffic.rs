@@ -14,7 +14,14 @@ fn main() {
             "Table 2 — parallelism communication characteristics ({}, TP={}, DP={}, PP={})",
             model.name, parallel.tensor, parallel.data, parallel.pipeline
         ),
-        &["Strategy", "Memory reduction", "Collectives", "Pass", "Frequency", "Volume"],
+        &[
+            "Strategy",
+            "Memory reduction",
+            "Collectives",
+            "Pass",
+            "Frequency",
+            "Volume",
+        ],
     );
     for row in &rows {
         let collectives = row

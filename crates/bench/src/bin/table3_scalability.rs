@@ -7,7 +7,13 @@ use railsim_cost::ocs_tech::{ocs_technologies, scaleup};
 fn main() {
     let mut report = Report::new(
         "Table 3 — Opus scalability–latency tradeoff",
-        &["OCS Tech", "Reconfig. time (ms)", "Radix (ports)", "# GPUs (GB200)", "# GPUs (H200)"],
+        &[
+            "OCS Tech",
+            "Reconfig. time (ms)",
+            "Radix (ports)",
+            "# GPUs (GB200)",
+            "# GPUs (H200)",
+        ],
     );
     let techs = ocs_technologies();
     for tech in &techs {
@@ -19,7 +25,9 @@ fn main() {
             tech.max_gpus(scaleup::H200).to_string(),
         ]);
     }
-    report.note("# GPUs = scale-up size x radix / 2 (2-port NIC configuration, bidirectional transceivers)");
+    report.note(
+        "# GPUs = scale-up size x radix / 2 (2-port NIC configuration, bidirectional transceivers)",
+    );
     report.note("the paper identifies Piezo and 3D MEMS as the sweet spot: tens of ms reconfiguration, hundreds of ports");
     report.print();
     Report::write_json("table3_scalability", &techs);

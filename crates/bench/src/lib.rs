@@ -16,6 +16,6 @@ pub mod setups;
 
 pub use report::Report;
 pub use setups::{
-    fig8_latencies_ms, paper_cluster, paper_compute, paper_dag, paper_dag_large_batch,
-    paper_model, paper_parallelism,
+    fig8_latencies_ms, paper_cluster, paper_compute, paper_dag, paper_dag_large_batch, paper_model,
+    paper_parallelism,
 };

@@ -1,0 +1,137 @@
+//! Golden-value regression tests for the paper's quantitative claims, asserted
+//! against the same `railsim-bench` setups the figure/table binaries consume. If a
+//! model change shifts one of these numbers, the corresponding figure binary would
+//! silently drift from the paper — these tests turn that drift into a red build.
+
+use railsim_bench::{paper_cluster, paper_dag, paper_parallelism};
+use railsim_cost::{FabricKind, GpuBackendCostModel};
+use railsim_workload::strategy::{recommend, table1_rows, StrategyFamily};
+use railsim_workload::windows::{llama31_405b_inputs, window_count, WindowCountInputs};
+
+// ---- Eq. 1: window counts ---------------------------------------------------------
+
+#[test]
+fn eq1_llama31_405b_window_count_is_pinned() {
+    // Paper §3.1: the Llama 3.1 405B recipe shows ~127 inter-parallelism windows per
+    // iteration (about 6 windows per second at 1k H100 scale). Our Eq. 1 terms give
+    // exactly 126 = 28 (PP&FSDP) + 30 (CP/EP&FSDP) + 64 (CP/EP&PP) + 4 (transitions);
+    // the off-by-one against the paper is the final sync transition's double count.
+    let breakdown = window_count(&llama31_405b_inputs());
+    assert_eq!(breakdown.pp_fsdp, 28);
+    assert_eq!(breakdown.cpep_fsdp, 30);
+    assert_eq!(breakdown.cpep_pp, 64);
+    assert_eq!(breakdown.cp_ep, 0);
+    assert_eq!(breakdown.state_transitions, 4);
+    assert_eq!(breakdown.total(), 126);
+}
+
+#[test]
+fn eq1_paper_testbed_window_count_matches_fig3() {
+    // The §3.1 testbed workload (TP=4, FSDP=2, PP=2, 2 micro-batches) shows 8 windows
+    // per iteration — the arrows visible in the paper's Fig. 3(a). Derive the inputs
+    // from the *same* parallelism config the figure binaries simulate.
+    let parallel = paper_parallelism();
+    let inputs = WindowCountInputs {
+        pipeline: parallel.pipeline,
+        num_layers: 32,
+        num_microbatches: parallel.num_microbatches,
+        has_cp_or_ep: parallel.context > 1 || parallel.expert > 1,
+        has_cp_and_ep: parallel.context > 1 && parallel.expert > 1,
+    };
+    assert_eq!(parallel.pipeline, 2, "paper testbed uses PP=2");
+    assert_eq!(window_count(&inputs).total(), 8);
+}
+
+// ---- Table 1: strategy list -------------------------------------------------------
+
+#[test]
+fn table1_strategy_rows_are_pinned() {
+    let rows = table1_rows();
+    assert_eq!(rows.len(), 4);
+
+    assert_eq!(rows[0].model_class, "Small (<10B)");
+    assert_eq!(rows[0].gpu_range, "N <= 8");
+    assert_eq!(
+        rows[0].strategies,
+        vec![StrategyFamily::Tp, StrategyFamily::Dp]
+    );
+
+    assert_eq!(rows[1].gpu_range, "8 < N <= 512");
+    assert_eq!(
+        rows[1].strategies,
+        vec![
+            StrategyFamily::TpPp,
+            StrategyFamily::TpDp,
+            StrategyFamily::Dp
+        ]
+    );
+
+    assert_eq!(rows[2].gpu_range, "512 < N <= 1024");
+    assert_eq!(
+        rows[2].strategies,
+        vec![StrategyFamily::DpPp, StrategyFamily::DpTp]
+    );
+
+    assert_eq!(rows[3].gpu_range, "N > 1024");
+    assert_eq!(rows[3].strategies, vec![StrategyFamily::TpDpPp]);
+}
+
+#[test]
+fn table1_boundaries_recommend_like_the_paper() {
+    // The class boundaries themselves (10B parameters; 8/512/1024 GPUs) are part of
+    // the table's claim: check each side of every boundary.
+    assert_eq!(recommend(9_999_999_999, 8).model_class, "Small (<10B)");
+    assert_eq!(recommend(10_000_000_000, 8).model_class, "Large (>10B)");
+    assert_eq!(recommend(70_000_000_000, 512).gpu_range, "8 < N <= 512");
+    assert_eq!(recommend(70_000_000_000, 513).gpu_range, "512 < N <= 1024");
+    assert_eq!(recommend(70_000_000_000, 1025).gpu_range, "N > 1024");
+}
+
+// ---- Fig. 7: cost/power ratios ----------------------------------------------------
+
+#[test]
+fn fig7_cost_and_power_savings_are_pinned() {
+    // The fig7_cost_power binary reports Opus saving 73.0% of the capex and 90.84% of
+    // the power of the rail-optimized electrical fabric, for every cluster size on the
+    // figure's x-axis (the roll-up is linear in GPU count between Clos tier breaks).
+    let model = GpuBackendCostModel::dgx_h200_400g();
+    for n in [1024u64, 2048, 4096, 8192] {
+        let rail = model.evaluate(FabricKind::RailOptimized, n);
+        let opus = model.evaluate(FabricKind::Opus, n);
+        let capex_saving = opus.capex_saving_vs(&rail);
+        let power_saving = opus.power_saving_vs(&rail);
+        assert!(
+            (capex_saving - 0.730).abs() < 0.005,
+            "capex saving at {n} GPUs drifted: {capex_saving:.4} (expected ~0.730)"
+        );
+        assert!(
+            (power_saving - 0.9084).abs() < 0.0005,
+            "power saving at {n} GPUs drifted: {power_saving:.4} (expected ~0.9084)"
+        );
+    }
+}
+
+#[test]
+fn fig7_fabric_ordering_holds_on_the_figure_axis() {
+    // Fat-tree >= rail-optimized > Opus on both capex and power at every figure point.
+    let model = GpuBackendCostModel::dgx_h200_400g();
+    for n in [1024u64, 2048, 4096, 8192] {
+        let ft = model.evaluate(FabricKind::FatTree, n);
+        let rail = model.evaluate(FabricKind::RailOptimized, n);
+        let opus = model.evaluate(FabricKind::Opus, n);
+        assert!(ft.capex_usd >= rail.capex_usd && rail.capex_usd > opus.capex_usd);
+        assert!(ft.power_watts >= rail.power_watts && rail.power_watts > opus.power_watts);
+    }
+}
+
+// ---- The bench setups stay on the paper's testbed ---------------------------------
+
+#[test]
+fn bench_setups_match_the_paper_testbed() {
+    let cluster = paper_cluster();
+    assert_eq!(cluster.num_gpus(), 16, "4 Perlmutter nodes x 4 A100s");
+    assert_eq!(cluster.num_rails(), 4);
+    let dag = paper_dag();
+    assert!(dag.validate().is_ok());
+    assert!(dag.communication_tasks().count() > 0);
+}

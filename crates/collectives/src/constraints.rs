@@ -99,7 +99,7 @@ impl DegreeBudget {
             (self.ports as f64 / total_ports_needed as f64).min(1.0)
                 * (per_axis.iter().map(|a| a.ports_needed).max().unwrap_or(1) as f64
                     / self.ports as f64)
-                .min(1.0)
+                    .min(1.0)
         };
         FeasibilityReport {
             budget: *self,

@@ -131,16 +131,19 @@ pub fn collective_time(
     let steps = step_count(kind, algorithm, group_size);
     let latency = params.alpha.saturating_mul(steps);
     let factor = traffic_factor(kind, algorithm, group_size);
-    let serialization = params
-        .bandwidth
-        .transfer_time(bytes)
-        .mul_f64(factor);
+    let serialization = params.bandwidth.transfer_time(bytes).mul_f64(factor);
     latency.saturating_add(serialization)
 }
 
 /// Convenience: the time of a point-to-point transfer of `bytes`.
 pub fn point_to_point_time(bytes: Bytes, params: &CostParams) -> SimDuration {
-    collective_time(CollectiveKind::SendRecv, Algorithm::Direct, 2, bytes, params)
+    collective_time(
+        CollectiveKind::SendRecv,
+        Algorithm::Direct,
+        2,
+        bytes,
+        params,
+    )
 }
 
 #[cfg(test)]
@@ -210,7 +213,10 @@ mod tests {
             Bytes::from_kb(1),
             &params(),
         );
-        assert!(tree < ring, "tree {tree} should beat ring {ring} on latency");
+        assert!(
+            tree < ring,
+            "tree {tree} should beat ring {ring} on latency"
+        );
     }
 
     #[test]
@@ -230,7 +236,10 @@ mod tests {
             Bytes::from_gb(4),
             &params(),
         );
-        assert!(ring < tree, "ring {ring} should beat tree {tree} on bandwidth");
+        assert!(
+            ring < tree,
+            "ring {ring} should beat tree {tree} on bandwidth"
+        );
     }
 
     #[test]
@@ -287,7 +296,13 @@ mod tests {
 
     #[test]
     fn alltoall_direct_single_step() {
-        assert_eq!(step_count(CollectiveKind::AllToAll, Algorithm::Direct, 16), 1);
-        assert_eq!(step_count(CollectiveKind::AllToAll, Algorithm::Ring, 16), 15);
+        assert_eq!(
+            step_count(CollectiveKind::AllToAll, Algorithm::Direct, 16),
+            1
+        );
+        assert_eq!(
+            step_count(CollectiveKind::AllToAll, Algorithm::Ring, 16),
+            15
+        );
     }
 }

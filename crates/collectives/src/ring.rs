@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn two_rank_ring_is_one_pair() {
-        assert_eq!(ring_neighbor_pairs(&gpus(&[3, 7])), vec![(GpuId(3), GpuId(7))]);
+        assert_eq!(
+            ring_neighbor_pairs(&gpus(&[3, 7])),
+            vec![(GpuId(3), GpuId(7))]
+        );
     }
 
     #[test]

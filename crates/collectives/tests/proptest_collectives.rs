@@ -110,3 +110,86 @@ proptest! {
         prop_assert!(algo.fits_degree(p, p.saturating_sub(1)) || p <= 1);
     }
 }
+
+// Satellite properties added with the workspace bootstrap (PR 1): the ring *schedule*
+// structure the Opus controller realizes as circuits, and the α–β cost model's
+// monotonicity/non-negativity across the full `CollectiveKind` space.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_schedule_visits_every_rank_exactly_once_per_step(
+        ids in proptest::collection::hash_set(0u32..1000, 3..64),
+    ) {
+        // In each step of a ring collective every rank sends to its successor and
+        // receives from its predecessor: the neighbor-pair list must mention every
+        // rank exactly once as a source and exactly once as a destination.
+        let ranks: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+        let pairs = ring_neighbor_pairs(&ranks);
+        prop_assert_eq!(pairs.len(), ranks.len());
+        for rank in &ranks {
+            let as_src = pairs.iter().filter(|(a, _)| a == rank).count();
+            let as_dst = pairs.iter().filter(|(_, b)| b == rank).count();
+            prop_assert_eq!(as_src, 1, "rank {:?} must send exactly once per step", rank);
+            prop_assert_eq!(as_dst, 1, "rank {:?} must receive exactly once per step", rank);
+        }
+        // No self-loops: a rank never sends to itself in a ring of >= 3 members.
+        prop_assert!(pairs.iter().all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn chain_schedule_covers_interior_ranks_twice_and_endpoints_once(
+        ids in proptest::collection::hash_set(0u32..1000, 2..64),
+    ) {
+        let ranks: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+        let pairs = chain_neighbor_pairs(&ranks);
+        prop_assert_eq!(pairs.len(), ranks.len() - 1);
+        let degree_of = |r: &GpuId| pairs.iter().filter(|(a, b)| a == r || b == r).count();
+        prop_assert_eq!(degree_of(&ranks[0]), 1);
+        prop_assert_eq!(degree_of(ranks.last().unwrap()), 1);
+        for rank in &ranks[1..ranks.len() - 1] {
+            prop_assert_eq!(degree_of(rank), 2);
+        }
+    }
+
+    #[test]
+    fn collective_cost_is_monotone_in_message_size_for_all_kinds(
+        kind in any_kind(),
+        algo in any_algorithm(),
+        p in 2usize..1024,
+        mb in 0u64..50_000,
+        extra in 1u64..50_000,
+        alpha_us in 0u64..1_000,
+        gbps in 1.0f64..1600.0,
+    ) {
+        let params = CostParams::new(SimDuration::from_micros(alpha_us), Bandwidth::from_gbps(gbps));
+        let small = collective_time(kind, algo, p, Bytes::from_mb(mb), &params);
+        let large = collective_time(kind, algo, p, Bytes::from_mb(mb + extra), &params);
+        prop_assert!(
+            large >= small,
+            "{}/{} at p={} not monotone: {} MB -> {}, {} MB -> {}",
+            kind, algo, p, mb, small, mb + extra, large
+        );
+    }
+
+    #[test]
+    fn collective_cost_is_nonnegative_and_zero_only_without_work(
+        kind in any_kind(),
+        algo in any_algorithm(),
+        p in 1usize..2048,
+        mb in 0u64..100_000,
+    ) {
+        let params = CostParams::new(SimDuration::from_micros(10), Bandwidth::from_gbps(400.0));
+        let t = collective_time(kind, algo, p, Bytes::from_mb(mb), &params);
+        prop_assert!(t >= SimDuration::ZERO);
+        // A single-rank "collective" does no network work for any kind.
+        if p <= 1 {
+            prop_assert_eq!(t, SimDuration::ZERO);
+        }
+        // With a positive α every multi-rank collective takes positive time as soon as
+        // it moves bytes; a Barrier moves none but still pays its latency steps.
+        if p >= 2 && (mb > 0 || kind == CollectiveKind::Barrier) {
+            prop_assert!(t > SimDuration::ZERO);
+        }
+    }
+}

@@ -15,7 +15,9 @@
 //! C1/C3 discussion notes exactly this degradation.
 
 use railsim_collectives::{ring::ring_neighbor_pairs, CommGroup};
-use railsim_topology::{Circuit, CircuitConfig, Cluster, CommPath, GpuId, PathKind, PortId, RailId};
+use railsim_topology::{
+    Circuit, CircuitConfig, Cluster, CommPath, GpuId, PathKind, PortId, RailId,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// The per-rail circuit demand of one communication group.
@@ -164,7 +166,10 @@ mod tests {
         let plan = planner.plan(&c, &g);
         assert_eq!(plan.rails(), vec![RailId(1)]);
         assert_eq!(plan.total_circuits() + plan.dropped_pairs, 4);
-        assert!(plan.dropped_pairs > 0, "single-port NICs cannot hold a full 4-ring");
+        assert!(
+            plan.dropped_pairs > 0,
+            "single-port NICs cannot hold a full 4-ring"
+        );
     }
 
     #[test]

@@ -198,7 +198,9 @@ mod tests {
         assert!(!ReconfigPolicy::Electrical.is_optical());
         assert!(ReconfigPolicy::OnDemand.is_optical());
         assert!(ReconfigPolicy::Provisioned.is_optical());
-        assert!(ReconfigPolicy::Provisioned.name().contains("with provisioning"));
+        assert!(ReconfigPolicy::Provisioned
+            .name()
+            .contains("with provisioning"));
     }
 
     #[test]

@@ -173,7 +173,7 @@ mod tests {
     use crate::circuits::CircuitPlanner;
     use railsim_collectives::{CommGroup, ParallelismAxis};
     use railsim_sim::SimDuration;
-    use railsim_topology::{ClusterSpec, Cluster, GpuId, NodePreset};
+    use railsim_topology::{Cluster, ClusterSpec, GpuId, NodePreset};
 
     fn setup() -> (Cluster, OpusController, CircuitPlanner) {
         let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
@@ -248,7 +248,11 @@ mod tests {
         ctrl.request(a.id, &ca, SimTime::ZERO);
         ctrl.occupy(&ca, SimTime::from_secs(10));
         let ready = ctrl.request(b.id, &cb, SimTime::from_millis(50));
-        assert_eq!(ready, SimTime::from_millis(75), "rail 1 must not wait for rail 0 traffic");
+        assert_eq!(
+            ready,
+            SimTime::from_millis(75),
+            "rail 1 must not wait for rail 0 traffic"
+        );
         assert_eq!(ctrl.reconfigs_on_rail(RailId(0)), 1);
         assert_eq!(ctrl.reconfigs_on_rail(RailId(1)), 1);
     }

@@ -190,7 +190,11 @@ mod tests {
     #[test]
     fn steady_state_skips_the_profiling_iteration() {
         let run = SimulationResult {
-            iterations: vec![iteration(200, vec![]), iteration(100, vec![]), iteration(110, vec![])],
+            iterations: vec![
+                iteration(200, vec![]),
+                iteration(100, vec![]),
+                iteration(110, vec![]),
+            ],
         };
         let t = run.steady_state_iteration_time();
         assert!((t.as_millis_f64() - 105.0).abs() < 1e-6);
@@ -201,7 +205,10 @@ mod tests {
         let run = SimulationResult {
             iterations: vec![iteration(250, vec![])],
         };
-        assert_eq!(run.steady_state_iteration_time(), SimDuration::from_millis(250));
+        assert_eq!(
+            run.steady_state_iteration_time(),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]

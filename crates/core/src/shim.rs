@@ -48,7 +48,10 @@ impl ShimProfile {
 
     /// The recorded sequence of a rank.
     pub fn sequence(&self, rank: GpuId) -> &[GroupId] {
-        self.sequences.get(&rank).map(|v| v.as_slice()).unwrap_or(&[])
+        self.sequences
+            .get(&rank)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The number of communication operations rank issued during profiling.
@@ -144,7 +147,10 @@ mod tests {
         shim.observe(gpu(0), GroupId(1));
         shim.observe(gpu(0), GroupId(2));
         shim.observe(gpu(1), GroupId(3));
-        assert_eq!(shim.profile().sequence(gpu(0)), &[GroupId(1), GroupId(1), GroupId(2)]);
+        assert_eq!(
+            shim.profile().sequence(gpu(0)),
+            &[GroupId(1), GroupId(1), GroupId(2)]
+        );
         assert_eq!(shim.profile().len(gpu(1)), 1);
         assert_eq!(shim.profile().len(gpu(2)), 0);
     }
@@ -167,7 +173,11 @@ mod tests {
         shim.observe(gpu(0), GroupId(1));
         shim.finish_profiling();
         shim.observe(gpu(0), GroupId(2));
-        assert_eq!(shim.profile().len(gpu(0)), 1, "post-profiling calls are not recorded");
+        assert_eq!(
+            shim.profile().len(gpu(0)),
+            1,
+            "post-profiling calls are not recorded"
+        );
         assert!(shim.can_provision());
     }
 
@@ -176,7 +186,10 @@ mod tests {
         let mut shim = OpusShim::new();
         assert!(!shim.can_provision());
         shim.finish_profiling();
-        assert!(!shim.can_provision(), "an empty profile cannot drive provisioning");
+        assert!(
+            !shim.can_provision(),
+            "an empty profile cannot drive provisioning"
+        );
         let mut shim2 = OpusShim::new();
         shim2.observe(gpu(0), GroupId(1));
         assert!(!shim2.can_provision());
@@ -187,8 +200,14 @@ mod tests {
     #[test]
     fn reconfiguration_only_on_demand_matrix_change() {
         assert!(OpusShim::needs_reconfiguration(None, GroupId(1)));
-        assert!(OpusShim::needs_reconfiguration(Some(GroupId(1)), GroupId(2)));
-        assert!(!OpusShim::needs_reconfiguration(Some(GroupId(2)), GroupId(2)));
+        assert!(OpusShim::needs_reconfiguration(
+            Some(GroupId(1)),
+            GroupId(2)
+        ));
+        assert!(!OpusShim::needs_reconfiguration(
+            Some(GroupId(2)),
+            GroupId(2)
+        ));
     }
 
     #[test]

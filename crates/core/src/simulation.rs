@@ -33,9 +33,7 @@ use railsim_collectives::{
     CollectiveKind, CommGroup, GroupId, ParallelismAxis,
 };
 use railsim_sim::{Engine, SimDuration, SimRng, SimTime};
-use railsim_topology::{
-    Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity,
-};
+use railsim_topology::{Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity};
 use railsim_workload::{TaskId, TaskKind, TrainingDag};
 use std::collections::HashMap;
 
@@ -363,7 +361,7 @@ impl OpusSimulator {
             && self
                 .config
                 .host_offload
-                .map_or(false, |h| bytes <= h.threshold);
+                .is_some_and(|h| bytes <= h.threshold);
 
         // The shim intercepts every scale-out call that uses the rails; during the
         // profiling iteration it records the per-rank group sequence.
@@ -374,7 +372,10 @@ impl OpusSimulator {
         }
 
         let params = if offloaded {
-            let h = self.config.host_offload.expect("offloaded implies configured");
+            let h = self
+                .config
+                .host_offload
+                .expect("offloaded implies configured");
             CostParams::new(h.alpha, h.bandwidth)
         } else if scaleout {
             self.scaleout_params()
@@ -397,8 +398,8 @@ impl OpusSimulator {
                 if !scaleout || offloaded {
                     (now, SimDuration::ZERO, SimDuration::ZERO)
                 } else {
-                    let provisioned = self.config.provisioning_active(iteration)
-                        && self.shim.can_provision();
+                    let provisioned =
+                        self.config.provisioning_active(iteration) && self.shim.can_provision();
                     let requested_at = if controller.is_installed(&circuits) {
                         now
                     } else if provisioned {
@@ -443,7 +444,11 @@ impl OpusSimulator {
             scaleout,
             // Offloaded traffic never touches the rails, so it carries no rail list and
             // is invisible to the per-rail window/phase analysis — which is the point.
-            rails: if offloaded { Vec::new() } else { circuits.rails() },
+            rails: if offloaded {
+                Vec::new()
+            } else {
+                circuits.rails()
+            },
             issued_at: now,
             start,
             end,
@@ -479,9 +484,7 @@ pub fn baseline_of(config: &OpusConfig) -> OpusConfig {
 mod tests {
     use super::*;
     use railsim_topology::{ClusterSpec, NodePreset};
-    use railsim_workload::{
-        ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig,
-    };
+    use railsim_workload::{ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig};
 
     fn paper_setup() -> (Cluster, TrainingDag) {
         let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
@@ -520,7 +523,9 @@ mod tests {
         let baseline = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 1),
+            OpusConfig::electrical()
+                .with_iterations(2)
+                .with_jitter(0.0, 1),
         )
         .run();
         let optical = OpusSimulator::new(
@@ -551,7 +556,10 @@ mod tests {
         );
         let result = sim.run();
         let it = &result.iterations[0];
-        assert!(it.reconfig_count() > 0, "optical rails must reconfigure at least once");
+        assert!(
+            it.reconfig_count() > 0,
+            "optical rails must reconfigure at least once"
+        );
         // Far fewer reconfigurations than communication operations: Opus only switches
         // when the demand matrix changes (Objective 2).
         assert!(
@@ -618,7 +626,9 @@ mod tests {
         let baseline = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 1),
+            OpusConfig::electrical()
+                .with_iterations(2)
+                .with_jitter(0.0, 1),
         )
         .run();
         let provisioned = OpusSimulator::new(
@@ -647,7 +657,11 @@ mod tests {
         let result = sim.run();
         for rec in &result.iterations[0].comm_records {
             if rec.axis == ParallelismAxis::Tensor {
-                assert!(!rec.scaleout, "TP record {} must stay in the scale-up domain", rec.label);
+                assert!(
+                    !rec.scaleout,
+                    "TP record {} must stay in the scale-up domain",
+                    rec.label
+                );
                 assert!(rec.rails.is_empty());
             }
         }
@@ -695,7 +709,9 @@ mod tests {
         let plain = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::provisioned(latency).with_iterations(2).with_jitter(0.0, 1),
+            OpusConfig::provisioned(latency)
+                .with_iterations(2)
+                .with_jitter(0.0, 1),
         )
         .run();
         let offloaded = OpusSimulator::new(
@@ -720,17 +736,16 @@ mod tests {
             .iter()
             .flat_map(|i| i.comm_records.iter())
             .any(|r| r.scaleout && r.rails.is_empty());
-        assert!(has_offloaded_record, "some traffic must actually have been offloaded");
+        assert!(
+            has_offloaded_record,
+            "some traffic must actually have been offloaded"
+        );
     }
 
     #[test]
     fn multiple_iterations_advance_the_clock() {
         let (cluster, dag) = tiny_setup();
-        let mut sim = OpusSimulator::new(
-            cluster,
-            dag,
-            OpusConfig::electrical().with_iterations(3),
-        );
+        let mut sim = OpusSimulator::new(cluster, dag, OpusConfig::electrical().with_iterations(3));
         let result = sim.run();
         assert_eq!(result.iterations.len(), 3);
         for w in result.iterations.windows(2) {

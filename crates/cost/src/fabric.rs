@@ -99,7 +99,7 @@ impl GpuBackendCostModel {
     /// Panics if `num_gpus` is not a multiple of the node size.
     pub fn evaluate(&self, kind: FabricKind, num_gpus: u64) -> FabricCost {
         assert!(
-            num_gpus > 0 && num_gpus % self.gpus_per_node == 0,
+            num_gpus > 0 && num_gpus.is_multiple_of(self.gpus_per_node),
             "GPU count {num_gpus} must be a positive multiple of the node size {}",
             self.gpus_per_node
         );
@@ -136,7 +136,11 @@ impl GpuBackendCostModel {
     pub fn sweep(&self, sweep: &[u64]) -> Vec<FabricCost> {
         let mut out = Vec::new();
         for &n in sweep {
-            for kind in [FabricKind::FatTree, FabricKind::RailOptimized, FabricKind::Opus] {
+            for kind in [
+                FabricKind::FatTree,
+                FabricKind::RailOptimized,
+                FabricKind::Opus,
+            ] {
                 out.push(self.evaluate(kind, n));
             }
         }
@@ -186,9 +190,15 @@ mod tests {
             let rail = m.evaluate(FabricKind::RailOptimized, n);
             let opus = m.evaluate(FabricKind::Opus, n);
             assert!(opus.capex_usd < rail.capex_usd, "n={n} capex");
-            assert!(rail.capex_usd <= ft.capex_usd, "n={n} rail vs fat-tree capex");
+            assert!(
+                rail.capex_usd <= ft.capex_usd,
+                "n={n} rail vs fat-tree capex"
+            );
             assert!(opus.power_watts < rail.power_watts, "n={n} power");
-            assert!(rail.power_watts <= ft.power_watts, "n={n} rail vs fat-tree power");
+            assert!(
+                rail.power_watts <= ft.power_watts,
+                "n={n} rail vs fat-tree power"
+            );
         }
     }
 

@@ -18,11 +18,15 @@ pub const NANOS_PER_MILLI: u64 = 1_000_000;
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// An absolute simulated timestamp, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -319,7 +323,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
         assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_nanos(NANOS_PER_SEC));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_nanos(NANOS_PER_SEC)
+        );
     }
 
     #[test]
@@ -369,7 +376,9 @@ mod tests {
 
     #[test]
     fn sum_saturates() {
-        let total: SimDuration = vec![SimDuration::MAX, SimDuration::from_secs(1)].into_iter().sum();
+        let total: SimDuration = vec![SimDuration::MAX, SimDuration::from_secs(1)]
+            .into_iter()
+            .sum();
         assert_eq!(total, SimDuration::MAX);
     }
 

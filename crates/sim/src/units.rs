@@ -12,7 +12,9 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A number of bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(u64);
 
 impl Bytes {
@@ -282,7 +284,10 @@ mod tests {
         let t = nic.transfer_time(Bytes::from_gb(1));
         assert!((t.as_millis_f64() - 20.0).abs() < 1e-6);
         assert_eq!(nic.transfer_time(Bytes::ZERO), SimDuration::ZERO);
-        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes::new(1)), SimDuration::MAX);
+        assert_eq!(
+            Bandwidth::ZERO.transfer_time(Bytes::new(1)),
+            SimDuration::MAX
+        );
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl Cluster {
     /// The scale-out NIC ports owned by `gpu`.
     pub fn ports_of(&self, gpu: GpuId) -> Vec<PortId> {
         self.check(gpu);
-        (0..self.spec.nic.ports).map(|p| PortId::new(gpu, p)).collect()
+        (0..self.spec.nic.ports)
+            .map(|p| PortId::new(gpu, p))
+            .collect()
     }
 
     /// Number of OCS ports a photonic rail needs to terminate this cluster's rail

@@ -267,7 +267,10 @@ mod tests {
         let rail = RailId(0);
         let (a, b) = (GpuId(0), GpuId(8));
         assert!(f.is_connected(rail, a, b, SimTime::ZERO));
-        assert_eq!(f.ready_time(rail, a, b, SimTime::from_secs(5)), Some(SimTime::from_secs(5)));
+        assert_eq!(
+            f.ready_time(rail, a, b, SimTime::from_secs(5)),
+            Some(SimTime::from_secs(5))
+        );
         assert!((f.pair_bandwidth(rail, a, b).as_gbps() - 200.0).abs() < 1e-9);
         assert!(f.datapath_latency() > SimDuration::ZERO);
     }
@@ -281,11 +284,8 @@ mod tests {
         assert!(!f.is_connected(rail, a, b, SimTime::ZERO));
         assert_eq!(f.ready_time(rail, a, b, SimTime::ZERO), None);
 
-        let cfg = CircuitConfig::new(vec![Circuit::new(
-            PortId::new(a, 0),
-            PortId::new(b, 0),
-        )])
-        .unwrap();
+        let cfg =
+            CircuitConfig::new(vec![Circuit::new(PortId::new(a, 0), PortId::new(b, 0))]).unwrap();
         let ready = f.install(rail, &cfg, SimTime::ZERO).unwrap();
         assert_eq!(ready, SimTime::from_millis(15));
         assert!(!f.is_connected(rail, a, b, SimTime::from_millis(14)));

@@ -112,10 +112,7 @@ impl CircuitConfig {
 
     /// All distinct ports used by this configuration.
     pub fn ports(&self) -> BTreeSet<PortId> {
-        self.circuits
-            .iter()
-            .flat_map(|c| [c.a(), c.b()])
-            .collect()
+        self.circuits.iter().flat_map(|c| [c.a(), c.b()]).collect()
     }
 
     /// True when the configuration contains a circuit between the two GPUs.
@@ -145,7 +142,10 @@ impl fmt::Display for OcsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OcsError::RadixExceeded { required, radix } => {
-                write!(f, "circuit matching needs {required} ports but the OCS radix is {radix}")
+                write!(
+                    f,
+                    "circuit matching needs {required} ports but the OCS radix is {radix}"
+                )
             }
             OcsError::PortConflict { port } => {
                 write!(f, "port {port} appears in more than one circuit")
@@ -273,7 +273,10 @@ impl Ocs {
     /// True when installing `config` would change nothing (every requested circuit is
     /// already installed).
     pub fn already_installed(&self, config: &CircuitConfig) -> bool {
-        config.circuits().iter().all(|c| self.circuits.contains_key(c))
+        config
+            .circuits()
+            .iter()
+            .all(|c| self.circuits.contains_key(c))
     }
 
     /// Installs the circuits of `config`, tearing down any existing circuits that
@@ -486,8 +489,18 @@ mod tests {
         ])
         .unwrap();
         let err = ocs.install(&cfg, SimTime::ZERO).unwrap_err();
-        assert_eq!(err, OcsError::RadixExceeded { required: 6, radix: 4 });
-        assert_eq!(ocs.num_circuits(), 0, "failed install must not mutate state");
+        assert_eq!(
+            err,
+            OcsError::RadixExceeded {
+                required: 6,
+                radix: 4
+            }
+        );
+        assert_eq!(
+            ocs.num_circuits(),
+            0,
+            "failed install must not mutate state"
+        );
     }
 
     #[test]

@@ -119,7 +119,11 @@ impl CommPath {
     }
 
     /// Base latency of the path given per-hop latencies.
-    pub fn base_latency(&self, scaleup_latency: SimDuration, scaleout_latency: SimDuration) -> SimDuration {
+    pub fn base_latency(
+        &self,
+        scaleup_latency: SimDuration,
+        scaleout_latency: SimDuration,
+    ) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for _ in 0..self.scaleup_hops() {
             total += scaleup_latency;
@@ -196,9 +200,18 @@ mod tests {
         let c = cluster();
         let su = SimDuration::from_micros(3);
         let so = SimDuration::from_micros(10);
-        assert_eq!(CommPath::between(&c, GpuId(0), GpuId(1)).base_latency(su, so), su);
-        assert_eq!(CommPath::between(&c, GpuId(0), GpuId(4)).base_latency(su, so), so);
-        assert_eq!(CommPath::between(&c, GpuId(0), GpuId(5)).base_latency(su, so), su + so);
+        assert_eq!(
+            CommPath::between(&c, GpuId(0), GpuId(1)).base_latency(su, so),
+            su
+        );
+        assert_eq!(
+            CommPath::between(&c, GpuId(0), GpuId(4)).base_latency(su, so),
+            so
+        );
+        assert_eq!(
+            CommPath::between(&c, GpuId(0), GpuId(5)).base_latency(su, so),
+            su + so
+        );
     }
 
     #[test]

@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(NodePreset::DgxH200.gpus_per_node(), 8);
         assert_eq!(NodePreset::Gb200Nvl72.gpus_per_node(), 72);
         assert_eq!(NodePreset::PerlmutterA100.gpus_per_node(), 4);
-        assert_eq!(NodePreset::PerlmutterA100.nic().total_bandwidth.as_gbps(), 200.0);
+        assert_eq!(
+            NodePreset::PerlmutterA100.nic().total_bandwidth.as_gbps(),
+            200.0
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use railsim_sim::{SimDuration, SimTime};
 use railsim_topology::{
-    fattree::ClosDimensions, Circuit, CircuitConfig, ClusterSpec, CommPath, GpuId, NodePreset,
-    Ocs, PathKind, PortId, RailId,
+    fattree::ClosDimensions, Circuit, CircuitConfig, ClusterSpec, CommPath, GpuId, NodePreset, Ocs,
+    PathKind, PortId, RailId,
 };
 
 fn any_preset() -> impl Strategy<Value = NodePreset> {

@@ -47,7 +47,10 @@ impl GpuSpec {
     /// Creates a custom GPU spec.
     pub fn new(peak_bf16_flops: f64, mfu: f64) -> Self {
         assert!(peak_bf16_flops > 0.0, "peak FLOP/s must be positive");
-        assert!((0.0..=1.0).contains(&mfu) && mfu > 0.0, "MFU must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&mfu) && mfu > 0.0,
+            "MFU must be in (0, 1]"
+        );
         GpuSpec {
             peak_bf16_flops,
             mfu,
@@ -83,8 +86,7 @@ pub struct ComputeModel {
 impl ComputeModel {
     /// Derives the compute model from the model shape, parallelism and GPU.
     pub fn derive(model: &ModelConfig, parallel: &ParallelismConfig, gpu: &GpuSpec) -> Self {
-        let tokens_per_microbatch =
-            parallel.microbatch_size as u64 * parallel.seq_len as u64;
+        let tokens_per_microbatch = parallel.microbatch_size as u64 * parallel.seq_len as u64;
         // Per-token FLOPs for one layer, divided across the tensor-parallel (and
         // context-parallel) shards that execute it.
         let shard = (parallel.tensor * parallel.context).max(1) as f64;
@@ -109,12 +111,14 @@ impl ComputeModel {
 
     /// Forward time of a whole pipeline stage for one micro-batch.
     pub fn stage_forward(&self) -> SimDuration {
-        self.layer_forward.saturating_mul(self.layers_per_stage as u64)
+        self.layer_forward
+            .saturating_mul(self.layers_per_stage as u64)
     }
 
     /// Backward time of a whole pipeline stage for one micro-batch.
     pub fn stage_backward(&self) -> SimDuration {
-        self.layer_backward.saturating_mul(self.layers_per_stage as u64)
+        self.layer_backward
+            .saturating_mul(self.layers_per_stage as u64)
     }
 }
 

@@ -203,12 +203,18 @@ impl TrainingDag {
             }
             for dep in &task.deps {
                 if dep.0 as usize >= self.tasks.len() {
-                    return Err(format!("task {} depends on unknown task {dep:?}", task.label));
+                    return Err(format!(
+                        "task {} depends on unknown task {dep:?}",
+                        task.label
+                    ));
                 }
             }
             if let TaskKind::Collective { group, .. } = &task.kind {
                 if !self.groups.contains_key(group) {
-                    return Err(format!("task {} references unknown group {group}", task.label));
+                    return Err(format!(
+                        "task {} references unknown group {group}",
+                        task.label
+                    ));
                 }
             }
         }
@@ -225,7 +231,9 @@ impl TrainingDag {
                     dependents[dep.0 as usize].push(task.id.0 as usize);
                 }
             }
-            let mut ready: Vec<usize> = (0..self.tasks.len()).filter(|&i| indegree[i] == 0).collect();
+            let mut ready: Vec<usize> = (0..self.tasks.len())
+                .filter(|&i| indegree[i] == 0)
+                .collect();
             while let Some(i) = ready.pop() {
                 in_order[i] = true;
                 for &d in &dependents[i] {
@@ -340,6 +348,7 @@ impl BuildState {
         id
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn add_collective(
         &mut self,
         group: &CommGroup,
@@ -400,6 +409,7 @@ impl BuildState {
         id
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn add_p2p(
         &mut self,
         src: GpuId,
@@ -432,11 +442,7 @@ impl BuildState {
 impl DagBuilder {
     /// Creates a builder. The compute model is derived from the model, parallelism and
     /// GPU specification.
-    pub fn new(
-        model: ModelConfig,
-        parallel: ParallelismConfig,
-        compute: ComputeModel,
-    ) -> Self {
+    pub fn new(model: ModelConfig, parallel: ParallelismConfig, compute: ComputeModel) -> Self {
         let sizes = TrafficSizes::derive(&model, &parallel);
         DagBuilder {
             model,
@@ -600,7 +606,11 @@ impl DagBuilder {
         let p = &self.parallel;
         // Receive the activation from the previous stage (if any).
         let recv_task = if stage > 0 {
-            let prev_rank = GpuId(mapping.pipeline_prev(rank.0).expect("stage > 0 has a predecessor"));
+            let prev_rank = GpuId(
+                mapping
+                    .pipeline_prev(rank.0)
+                    .expect("stage > 0 has a predecessor"),
+            );
             let src_out = fwd_out
                 .get(&(prev_rank, mb))
                 .copied()
@@ -723,7 +733,10 @@ impl DagBuilder {
             prev_layer_task = Some(layer_tail);
         }
 
-        fwd_out.insert((rank, mb), prev_layer_task.expect("at least one layer per stage"));
+        fwd_out.insert(
+            (rank, mb),
+            prev_layer_task.expect("at least one layer per stage"),
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -801,7 +814,10 @@ impl DagBuilder {
                         kind,
                         self.sizes.tp_allreduce_per_layer,
                         vec![layer_tail],
-                        format!("TP-bwd-{} s{stage} mb{mb} L{global_layer}", kind.short_name()),
+                        format!(
+                            "TP-bwd-{} s{stage} mb{mb} L{global_layer}",
+                            kind.short_name()
+                        ),
                         Some(mb),
                         Some(global_layer),
                     );
@@ -939,7 +955,11 @@ impl DagBuilder {
             .map(|r| st.compute_tail.get(&GpuId(r)).copied())
             .collect();
         let data_tails: Vec<Option<TaskId>> = (0..world)
-            .map(|r| st.comm_tail.get(&(GpuId(r), ParallelismAxis::Data)).copied())
+            .map(|r| {
+                st.comm_tail
+                    .get(&(GpuId(r), ParallelismAxis::Data))
+                    .copied()
+            })
             .collect();
 
         for rank_idx in 0..world {
@@ -1023,7 +1043,11 @@ mod tests {
         let dag = paper_dag();
         assert!(dag.validate().is_ok());
         assert!(dag.topological_order().is_some());
-        assert!(dag.len() > 1000, "the 16-rank Llama3-8B DAG should be sizable, got {}", dag.len());
+        assert!(
+            dag.len() > 1000,
+            "the 16-rank Llama3-8B DAG should be sizable, got {}",
+            dag.len()
+        );
     }
 
     #[test]
@@ -1132,7 +1156,11 @@ mod tests {
         for task in dag.communication_tasks() {
             if let TaskKind::Collective { group, .. } = &task.kind {
                 let g = dag.group(*group);
-                assert_eq!(task.participants, g.ranks, "task {} participants", task.label);
+                assert_eq!(
+                    task.participants, g.ranks,
+                    "task {} participants",
+                    task.label
+                );
             }
         }
     }
@@ -1153,7 +1181,10 @@ mod tests {
         let dag = paper_dag();
         let total = dag.total_communication_bytes().as_gb_f64();
         // 256 AGs of ~109 MB + 256 RSs of ~218 MB plus TP/PP traffic: tens of GB.
-        assert!(total > 20.0, "expected tens of GB of traffic, got {total} GB");
+        assert!(
+            total > 20.0,
+            "expected tens of GB of traffic, got {total} GB"
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl ParallelismConfig {
             num_microbatches: 2,
             microbatch_size: 2,
             seq_len: 8192,
-            }
+        }
     }
 
     /// The Fig. 3(b) variant: PP=3, FSDP=2 (24 GPUs with TP=4).

@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn last_stage_has_no_warmup() {
         let phases = PipelineSchedule::OneFOneB.phases(3, 4, 8);
-        assert!(phases.iter().all(|(_, p)| *p != PipelinePhase::WarmUp || false));
+        assert!(phases.iter().all(|(_, p)| *p != PipelinePhase::WarmUp));
         assert_eq!(phases[0].1, PipelinePhase::Steady);
     }
 

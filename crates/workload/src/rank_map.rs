@@ -249,7 +249,11 @@ mod tests {
             let groups = m.groups_for_axis(axis);
             let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
             all.sort_unstable();
-            assert_eq!(all, (0..16).collect::<Vec<_>>(), "axis {axis} must partition ranks");
+            assert_eq!(
+                all,
+                (0..16).collect::<Vec<_>>(),
+                "axis {axis} must partition ranks"
+            );
             let expected_groups = 16 / m.config().degree(axis);
             assert_eq!(groups.len() as u32, expected_groups);
         }
@@ -263,9 +267,12 @@ mod tests {
         let tp = m.config().tensor;
         for axis in [ParallelismAxis::Data, ParallelismAxis::Pipeline] {
             for group in m.groups_for_axis(axis) {
-                let rails: std::collections::HashSet<u32> =
-                    group.iter().map(|r| r % tp).collect();
-                assert_eq!(rails.len(), 1, "{axis} group {group:?} must stay on one rail");
+                let rails: std::collections::HashSet<u32> = group.iter().map(|r| r % tp).collect();
+                assert_eq!(
+                    rails.len(),
+                    1,
+                    "{axis} group {group:?} must stay on one rail"
+                );
             }
         }
     }
@@ -276,9 +283,18 @@ mod tests {
         let groups = m.build_comm_groups();
         // TP: 4 groups of 4; DP: 8 groups of 2; PP: 8 groups of 2. Total 20.
         assert_eq!(groups.len(), 20);
-        let tp_groups = groups.iter().filter(|g| g.axis == ParallelismAxis::Tensor).count();
-        let dp_groups = groups.iter().filter(|g| g.axis == ParallelismAxis::Data).count();
-        let pp_groups = groups.iter().filter(|g| g.axis == ParallelismAxis::Pipeline).count();
+        let tp_groups = groups
+            .iter()
+            .filter(|g| g.axis == ParallelismAxis::Tensor)
+            .count();
+        let dp_groups = groups
+            .iter()
+            .filter(|g| g.axis == ParallelismAxis::Data)
+            .count();
+        let pp_groups = groups
+            .iter()
+            .filter(|g| g.axis == ParallelismAxis::Pipeline)
+            .count();
         assert_eq!((tp_groups, dp_groups, pp_groups), (4, 8, 8));
         // Group ids are unique.
         let ids: std::collections::HashSet<_> = groups.iter().map(|g| g.id).collect();

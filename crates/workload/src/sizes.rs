@@ -63,10 +63,8 @@ impl TrafficSizes {
         let dp_allreduce_per_layer = Bytes::new(layer_params_per_tp * grad_dtype);
 
         // Activation tensor of one micro-batch: mbs × seq × hidden elements.
-        let activation_elems = parallel.microbatch_size as u64
-            * parallel.seq_len as u64
-            * model.hidden_size
-            / cp;
+        let activation_elems =
+            parallel.microbatch_size as u64 * parallel.seq_len as u64 * model.hidden_size / cp;
         // TP AllReduce: two per layer (attention output + MLP output); we account for
         // both in a single per-layer figure.
         let tp_allreduce_per_layer = Bytes::new(2 * activation_elems * dtype);
@@ -79,16 +77,14 @@ impl TrafficSizes {
         // Context parallelism gathers KV blocks: 2 (K and V) × seq × kv_dim per
         // micro-batch, sharded across CP.
         let cp_allgather_per_layer = Bytes::new(
-            2 * parallel.microbatch_size as u64 * parallel.seq_len as u64 * model.kv_dim()
-                * dtype
+            2 * parallel.microbatch_size as u64 * parallel.seq_len as u64 * model.kv_dim() * dtype
                 / cp.max(1),
         );
 
         // Expert parallelism: each token's hidden vector is routed to `experts_per_token`
         // experts; the AllToAll moves the full routed activation volume.
-        let ep_alltoall_per_layer = Bytes::new(
-            activation_elems * dtype * model.experts_per_token.max(1) as u64,
-        );
+        let ep_alltoall_per_layer =
+            Bytes::new(activation_elems * dtype * model.experts_per_token.max(1) as u64);
 
         // Optimizer-phase synchronization collectives: gradient-norm and loss scalars,
         // plus small mixed-precision bookkeeping — well under 1 MB.
@@ -153,9 +149,18 @@ mod tests {
         let ag = s.fsdp_allgather_per_stage(layers_per_stage).as_mb_f64();
         let rs = s.fsdp_reducescatter_per_stage(layers_per_stage).as_mb_f64();
         assert!(sync < 1.0, "sync AR should be <1MB, got {sync}");
-        assert!((10.0..200.0).contains(&pp), "PP send/recv should be tens of MB, got {pp}");
-        assert!((500.0..3000.0).contains(&ag), "DP AG phase should be ~1-2 GB, got {ag}");
-        assert!((2000.0..6000.0).contains(&rs), "DP RS phase should be ~4 GB, got {rs}");
+        assert!(
+            (10.0..200.0).contains(&pp),
+            "PP send/recv should be tens of MB, got {pp}"
+        );
+        assert!(
+            (500.0..3000.0).contains(&ag),
+            "DP AG phase should be ~1-2 GB, got {ag}"
+        );
+        assert!(
+            (2000.0..6000.0).contains(&rs),
+            "DP RS phase should be ~4 GB, got {rs}"
+        );
         assert!(sync < pp && pp < ag && ag < rs);
     }
 
@@ -178,7 +183,11 @@ mod tests {
         without_sp.sequence_parallel = false;
         let a = TrafficSizes::derive(&model, &with_sp).pp_sendrecv_per_microbatch;
         let b = TrafficSizes::derive(&model, &without_sp).pp_sendrecv_per_microbatch;
-        assert_eq!(b.as_u64(), a.as_u64() * 4, "SP shards the activation across TP=4");
+        assert_eq!(
+            b.as_u64(),
+            a.as_u64() * 4,
+            "SP shards the activation across TP=4"
+        );
     }
 
     #[test]

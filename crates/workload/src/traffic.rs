@@ -57,7 +57,10 @@ pub struct ParallelismTrafficRow {
 }
 
 /// Builds Table 2 for a concrete model and parallelism configuration.
-pub fn table2_rows(model: &ModelConfig, parallel: &ParallelismConfig) -> Vec<ParallelismTrafficRow> {
+pub fn table2_rows(
+    model: &ModelConfig,
+    parallel: &ParallelismConfig,
+) -> Vec<ParallelismTrafficRow> {
     let sizes = TrafficSizes::derive(model, parallel);
     vec![
         ParallelismTrafficRow {
@@ -174,7 +177,12 @@ mod tests {
             if row.strategy == "DP" {
                 assert_eq!(row.pass, Pass::Backward);
             } else {
-                assert_ne!(row.pass, Pass::Backward, "{} should not be backward-only", row.strategy);
+                assert_ne!(
+                    row.pass,
+                    Pass::Backward,
+                    "{} should not be backward-only",
+                    row.strategy
+                );
             }
         }
     }

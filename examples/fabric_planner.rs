@@ -21,10 +21,17 @@ fn main() {
 
     // 1. Capex and power for the three fabric options (Fig. 7).
     let model = GpuBackendCostModel::dgx_h200_400g();
-    println!("{:<16} {:>14} {:>14} {:>16} {:>14}", "fabric", "capex", "power", "switches/ports", "transceivers");
+    println!(
+        "{:<16} {:>14} {:>14} {:>16} {:>14}",
+        "fabric", "capex", "power", "switches/ports", "transceivers"
+    );
     let mut rail_cost = None;
     let mut opus_cost = None;
-    for kind in [FabricKind::FatTree, FabricKind::RailOptimized, FabricKind::Opus] {
+    for kind in [
+        FabricKind::FatTree,
+        FabricKind::RailOptimized,
+        FabricKind::Opus,
+    ] {
         let cost = model.evaluate(kind, target_gpus);
         let hw = if kind == FabricKind::Opus {
             format!("{} OCS ports", cost.ocs_ports)
@@ -65,7 +72,11 @@ fn main() {
             tech.radix,
             tech.reconfig_time.to_string(),
             max_h200,
-            if fits { "OK" } else { "too small (needs multiple switches per rail)" }
+            if fits {
+                "OK"
+            } else {
+                "too small (needs multiple switches per rail)"
+            }
         );
     }
     println!("  (each rail terminates {endpoints_per_rail} endpoints at this scale)");
@@ -89,9 +100,13 @@ fn main() {
     };
     let compute = ComputeModel::derive(&modelcfg, &parallel, &GpuSpec::h100());
     let dag = DagBuilder::new(modelcfg, parallel, compute).build();
-    let baseline = OpusSimulator::new(slice.clone(), dag.clone(), OpusConfig::electrical().with_iterations(2))
-        .run()
-        .steady_state_iteration_time();
+    let baseline = OpusSimulator::new(
+        slice.clone(),
+        dag.clone(),
+        OpusConfig::electrical().with_iterations(2),
+    )
+    .run()
+    .steady_state_iteration_time();
     let piezo = OpusSimulator::new(
         slice,
         dag,

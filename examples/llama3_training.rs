@@ -27,7 +27,10 @@ fn main() {
         "Table-1 recommendation for {} on {} GPUs: {:?}",
         model.name,
         cluster.num_gpus(),
-        rec.strategies.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        rec.strategies
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
     );
 
     // 2. Pick a 3D layout: TP=8 inside the node, PP=2, FSDP=4.
@@ -92,7 +95,9 @@ fn main() {
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 11),
+        OpusConfig::electrical()
+            .with_iterations(2)
+            .with_jitter(0.0, 11),
     )
     .run();
     let baseline_time = baseline.steady_state_iteration_time();
@@ -101,7 +106,10 @@ fn main() {
     for tech in ocs_technologies() {
         // Skip the robotic patch panel: its minutes-long switching cannot be hidden.
         if tech.reconfig_time > SimDuration::from_secs(1) {
-            println!("  {:28} -> skipped (reconfiguration {} cannot be hidden in-job)", tech.name, tech.reconfig_time);
+            println!(
+                "  {:28} -> skipped (reconfiguration {} cannot be hidden in-job)",
+                tech.name, tech.reconfig_time
+            );
             continue;
         }
         let result = OpusSimulator::new(
@@ -112,7 +120,8 @@ fn main() {
                 .with_jitter(0.0, 11),
         )
         .run();
-        let ratio = result.steady_state_iteration_time().as_secs_f64() / baseline_time.as_secs_f64();
+        let ratio =
+            result.steady_state_iteration_time().as_secs_f64() / baseline_time.as_secs_f64();
         println!(
             "  {:28} reconfig {:>10}  -> normalized iteration time {:.3}",
             tech.name,

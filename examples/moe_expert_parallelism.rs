@@ -33,7 +33,9 @@ fn main() {
         microbatch_size: 1,
         seq_len: 4096,
     };
-    parallel.validate(cluster.num_gpus()).expect("layout fits the cluster");
+    parallel
+        .validate(cluster.num_gpus())
+        .expect("layout fits the cluster");
     println!(
         "{} with TP={} EP={} FSDP={} PP={} on {} GPUs ({}D parallelism)",
         model.name,
@@ -53,7 +55,10 @@ fn main() {
         has_cp_or_ep: true,
         has_cp_and_ep: false,
     });
-    println!("Eq. 1 predicts {} reconfiguration windows per iteration", eq1.total());
+    println!(
+        "Eq. 1 predicts {} reconfiguration windows per iteration",
+        eq1.total()
+    );
 
     // Build the DAG and look at the circuit demand of each axis.
     let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::h100());
@@ -80,7 +85,9 @@ fn main() {
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 21),
+        OpusConfig::electrical()
+            .with_iterations(2)
+            .with_jitter(0.0, 21),
     )
     .run();
     let baseline_time = baseline.steady_state_iteration_time();
@@ -94,7 +101,9 @@ fn main() {
         let result = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::provisioned(latency).with_iterations(2).with_jitter(0.0, 21),
+            OpusConfig::provisioned(latency)
+                .with_iterations(2)
+                .with_jitter(0.0, 21),
         )
         .run();
         let it = result.iterations.last().expect("ran two iterations");

@@ -34,7 +34,10 @@ fn main() {
 
     // 3. Simulate three network options.
     let policies = [
-        ("electrical rail switches (baseline)", OpusConfig::electrical()),
+        (
+            "electrical rail switches (baseline)",
+            OpusConfig::electrical(),
+        ),
         (
             "photonic rails, 25 ms piezo OCS, on-demand",
             OpusConfig::on_demand(SimDuration::from_millis(25)),
@@ -64,7 +67,10 @@ fn main() {
             time.as_secs_f64() / baseline.as_secs_f64()
         );
         println!("  reconfigurations / iteration : {}", last.reconfig_count());
-        println!("  circuit wait per iteration   : {}", last.total_circuit_wait);
+        println!(
+            "  circuit wait per iteration   : {}",
+            last.total_circuit_wait
+        );
         println!();
     }
 

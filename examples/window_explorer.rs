@@ -21,11 +21,15 @@ fn main() {
     let mut sim = OpusSimulator::new(
         cluster.clone(),
         dag,
-        OpusConfig::electrical().with_iterations(10).with_jitter(0.05, 2024),
+        OpusConfig::electrical()
+            .with_iterations(10)
+            .with_jitter(0.05, 2024),
     );
     let result = sim.run();
 
-    println!("inter-parallelism windows per rail (10 iterations of Llama3-8B, TP=4/FSDP=2/PP=2):\n");
+    println!(
+        "inter-parallelism windows per rail (10 iterations of Llama3-8B, TP=4/FSDP=2/PP=2):\n"
+    );
     let mut all_windows = Vec::new();
     for rail in cluster.all_rails() {
         let mut windows = Vec::new();
@@ -44,7 +48,7 @@ fn main() {
     }
 
     // Show the biggest windows and what follows them.
-    all_windows.sort_by(|a, b| b.duration.cmp(&a.duration));
+    all_windows.sort_by_key(|w| std::cmp::Reverse(w.duration));
     println!("\nlargest windows and the traffic that follows them:");
     for w in all_windows.iter().take(5) {
         println!(

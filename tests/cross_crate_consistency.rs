@@ -5,7 +5,10 @@ use photonic_rails::opus::{CircuitPlanner, GroupTable};
 use photonic_rails::prelude::*;
 use photonic_rails::workload::{RankMapping, TaskKind};
 
-fn cluster_and_parallelism(nodes: u32, parallel: ParallelismConfig) -> (Cluster, ParallelismConfig) {
+fn cluster_and_parallelism(
+    nodes: u32,
+    parallel: ParallelismConfig,
+) -> (Cluster, ParallelismConfig) {
     let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, nodes).build();
     assert_eq!(cluster.num_gpus(), parallel.world_size());
     (cluster, parallel)
@@ -29,7 +32,10 @@ fn data_and_pipeline_groups_stay_on_one_rail() {
     let (cluster, parallel) = cluster_and_parallelism(4, ParallelismConfig::paper_llama3_8b());
     let mapping = RankMapping::new(parallel);
     for group in mapping.build_comm_groups() {
-        if matches!(group.axis, ParallelismAxis::Data | ParallelismAxis::Pipeline) {
+        if matches!(
+            group.axis,
+            ParallelismAxis::Data | ParallelismAxis::Pipeline
+        ) {
             let rails: std::collections::HashSet<_> =
                 group.ranks.iter().map(|&g| cluster.rail_of(g)).collect();
             assert_eq!(rails.len(), 1, "{group} must map onto a single rail");
@@ -48,8 +54,10 @@ fn planner_circuits_only_connect_same_rail_ports() {
             for circuit in config.circuits() {
                 assert_eq!(cluster.rail_of(circuit.a().gpu), *rail);
                 assert_eq!(cluster.rail_of(circuit.b().gpu), *rail);
-                assert!(!cluster.same_node(circuit.a().gpu, circuit.b().gpu),
-                    "intra-node pairs must use the scale-up interconnect, not a circuit");
+                assert!(
+                    !cluster.same_node(circuit.a().gpu, circuit.b().gpu),
+                    "intra-node pairs must use the scale-up interconnect, not a circuit"
+                );
             }
         }
     }
@@ -139,5 +147,8 @@ fn umbrella_crate_reexports_are_usable_together() {
     let cost = GpuBackendCostModel::dgx_h200_400g().evaluate(FabricKind::Opus, 1024);
     assert!(cost.capex_usd > 0.0);
     let bw = Bandwidth::from_gbps(400.0);
-    assert_eq!(bw.transfer_time(Bytes::from_gb(1)), SimDuration::from_millis(20));
+    assert_eq!(
+        bw.transfer_time(Bytes::from_gb(1)),
+        SimDuration::from_millis(20)
+    );
 }

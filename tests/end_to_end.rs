@@ -25,7 +25,9 @@ fn fig4_majority_of_windows_exceed_one_millisecond() {
     let mut sim = OpusSimulator::new(
         cluster.clone(),
         paper_dag(),
-        OpusConfig::electrical().with_iterations(5).with_jitter(0.05, 42),
+        OpusConfig::electrical()
+            .with_iterations(5)
+            .with_jitter(0.05, 42),
     );
     let result = sim.run();
 
@@ -50,7 +52,9 @@ fn fig4_largest_traffic_class_sees_the_largest_windows() {
     let mut sim = OpusSimulator::new(
         cluster,
         paper_dag(),
-        OpusConfig::electrical().with_iterations(5).with_jitter(0.05, 7),
+        OpusConfig::electrical()
+            .with_iterations(5)
+            .with_jitter(0.05, 7),
     );
     let result = sim.run();
     let windows: Vec<_> = result
@@ -89,7 +93,9 @@ fn fig8_shape_monotone_and_provisioning_helps() {
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical().with_iterations(2).with_jitter(0.0, 1),
+        OpusConfig::electrical()
+            .with_iterations(2)
+            .with_jitter(0.0, 1),
     )
     .run();
     let base = baseline.steady_state_iteration_time().as_secs_f64();
@@ -119,14 +125,26 @@ fn fig8_shape_monotone_and_provisioning_helps() {
         .as_secs_f64()
             / base;
 
-        assert!(od >= 1.0 - 1e-9 && pr >= 1.0 - 1e-9, "optical cannot beat the baseline");
-        assert!(pr <= od + 1e-9, "provisioning must not hurt (at {ms} ms: {pr} vs {od})");
-        assert!(od >= prev_od - 1e-9, "normalized time must be monotone in latency");
+        assert!(
+            od >= 1.0 - 1e-9 && pr >= 1.0 - 1e-9,
+            "optical cannot beat the baseline"
+        );
+        assert!(
+            pr <= od + 1e-9,
+            "provisioning must not hurt (at {ms} ms: {pr} vs {od})"
+        );
+        assert!(
+            od >= prev_od - 1e-9,
+            "normalized time must be monotone in latency"
+        );
         prev_od = od;
     }
     // At a second of switching delay the slowdown must be substantial — the regime the
     // paper's Fig. 8 shows at 1.65x/1.47x.
-    assert!(prev_od > 1.1, "1000 ms reconfigurations must visibly hurt, got {prev_od}");
+    assert!(
+        prev_od > 1.1,
+        "1000 ms reconfigurations must visibly hurt, got {prev_od}"
+    );
 }
 
 #[test]
@@ -136,7 +154,9 @@ fn fig8_piezo_class_switch_with_provisioning_costs_little() {
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical().with_iterations(3).with_jitter(0.0, 3),
+        OpusConfig::electrical()
+            .with_iterations(3)
+            .with_jitter(0.0, 3),
     )
     .run();
     let provisioned = OpusSimulator::new(
@@ -180,7 +200,10 @@ fn table3_reproduces_exactly_and_eq1_gives_about_127_windows() {
     assert_eq!(robotic.max_gpus(scaleup::GB200), 36_288);
 
     let windows = window_count(&llama31_405b_inputs()).total();
-    assert!((126..=128).contains(&windows), "Eq. 1 should give ~127, got {windows}");
+    assert!(
+        (126..=128).contains(&windows),
+        "Eq. 1 should give ~127, got {windows}"
+    );
 }
 
 #[test]
@@ -191,7 +214,9 @@ fn electrical_and_optical_runs_agree_on_traffic_volume() {
     let electrical = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical().with_iterations(1).with_jitter(0.0, 9),
+        OpusConfig::electrical()
+            .with_iterations(1)
+            .with_jitter(0.0, 9),
     )
     .run();
     let optical = OpusSimulator::new(
@@ -226,7 +251,9 @@ fn reconfiguration_counts_are_far_below_collective_counts() {
     let result = sim.run();
     let it = result.iterations.last().unwrap();
     let scaleout_ops = it.comm_records.iter().filter(|r| r.scaleout).count();
-    assert!(it.reconfig_count() * 3 < scaleout_ops,
+    assert!(
+        it.reconfig_count() * 3 < scaleout_ops,
         "reconfigs ({}) should be a small fraction of scale-out collectives ({scaleout_ops})",
-        it.reconfig_count());
+        it.reconfig_count()
+    );
 }

@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface the workspace's benches use — `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`/`finish`), `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. Instead of criterion's statistical
+//! machinery it runs a short warm-up, then a fixed measurement window, and prints a
+//! mean ns/iter line; good enough to compare orders of magnitude offline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Keep `cargo bench` quick: the stub targets a coarse per-bench budget.
+            measurement_window: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            window: self.measurement_window,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, elapsed)) => {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench: {name:<48} {per_iter:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench: {name:<48} (no measurement)"),
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes its sample by wall-clock window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the hot loop.
+pub struct Bencher {
+    window: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: one untimed call (also pre-faults lazy state).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.window || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// Declares a function that runs the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            measurement_window: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion {
+            measurement_window: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests use:
+//! the [`Strategy`] trait over ranges / tuples / `Just` / `prop_oneof!` unions,
+//! `proptest::collection::{vec, hash_set}`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, chosen for an offline test harness:
+//!
+//! * **No shrinking** — a failing case reports its generated inputs verbatim.
+//! * **Deterministic seeding** — each test's RNG is seeded from a stable hash of the
+//!   test function's name, so failures reproduce across runs and machines. Set
+//!   `PROPTEST_SEED=<u64>` to explore a different stream.
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG driving case generation (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Creates the RNG for a named test: stable name hash, overridable with
+    /// the `PROPTEST_SEED` environment variable.
+    pub fn for_test(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_0F00_7EA1_5C0D);
+        let mut h = base;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, span)` (`span > 0`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.next_u64() % span
+    }
+}
+
+/// Types that can generate random values for `proptest!` arguments.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_uint_range {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                self.start + v as $t
+            }
+        })*
+    };
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let v = (rng.next_u64() as u128) % (span as u128);
+                ((self.start as i128) + v as i128) as $t
+            }
+        })*
+    };
+}
+
+impl_strategy_for_uint_range!(u8, u16, u32, u64, usize);
+impl_strategy_for_int_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.next_unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+pub mod strategy {
+    //! Strategy combinators.
+
+    use super::{Strategy, TestRng};
+
+    /// A uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options` (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `HashSet`s of values from `element`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets with *up to* the sampled number of elements (duplicates
+    /// collapse, as in the real proptest when the element domain is small).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = HashSet::with_capacity(target);
+            // A few extra draws give the set a chance to reach the target size even
+            // when the element domain collides.
+            for _ in 0..target.saturating_mul(2) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Prints the failing case's inputs if the test body panics (instead of shrinking).
+pub struct CaseGuard {
+    armed: bool,
+    message: String,
+}
+
+impl CaseGuard {
+    /// Arms a guard describing the current case.
+    pub fn new(test: &str, case: u32, inputs: &str) -> Self {
+        CaseGuard {
+            armed: true,
+            message: format!("proptest {test}: case #{case} inputs: {inputs}"),
+        }
+    }
+
+    /// Disarms the guard after the case body returned normally.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("{}", self.message);
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        ::std::stringify!($left),
+                        ::std::stringify!($right),
+                        left,
+                        right
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(::std::format!($($fmt)*));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniformly picks one of the listed strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn` runs `cases` times over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        #[test]
+        fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::for_test(::std::stringify!($name));
+                for case in 0..config.cases {
+                    let values = ( $( $crate::Strategy::sample(&($strategy), &mut rng) ,)+ );
+                    let described = ::std::format!("{:?}", values);
+                    let mut guard =
+                        $crate::CaseGuard::new(::std::stringify!($name), case, &described);
+                    let mut body = move || -> ::std::result::Result<(), ::std::string::String> {
+                        let ( $($pat ,)+ ) = values;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    let outcome = body();
+                    guard.disarm();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        ::std::panic!(
+                            "proptest {}: case #{} failed: {}\ninputs: {}",
+                            ::std::stringify!($name),
+                            case,
+                            message,
+                            described
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..17, b in -4i64..9, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-4..9).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            v in crate::collection::vec((0u32..4, 10u32..14), 1..6),
+            s in crate::collection::hash_set(0u32..100, 0..10),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (x, y) in &v {
+                prop_assert!(*x < 4 && (10..14).contains(y));
+            }
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![Just(1u8), Just(2u8)], n in 0u8..10) {
+            prop_assume!(n != 3);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_eq!(n != 3, true);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

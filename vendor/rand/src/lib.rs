@@ -1,0 +1,312 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Provides the trait surface the workspace's `railsim_sim::rng` module uses:
+//! [`RngCore`], [`SeedableRng`], the extension trait [`Rng`] (`gen`, `gen_range`,
+//! `gen_bool`), and `distributions::uniform::{SampleUniform, SampleRange}` for integer
+//! and float ranges. Sampling algorithms are simple and unbiased-enough for
+//! simulation jitter (widening-multiply for integers, 53-bit mantissa for floats);
+//! they do not match the real rand crate's streams bit-for-bit, which is fine because
+//! the workspace pins determinism to *its own* seeds, not to rand's exact output.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by this stub).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with splitmix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (uniform only).
+
+    /// A distribution that can produce values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the type's natural unit domain.
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniformly random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling over ranges.
+
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized {
+            /// Samples uniformly from `[low, high)`, or `[low, high]` when `inclusive`.
+            fn sample_uniform<R: crate::RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        /// Range types usable with `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range.
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_uniform(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                T::sample_uniform(start, end, true, rng)
+            }
+        }
+
+        macro_rules! impl_sample_uniform_uint {
+            ($($t:ty),*) => {
+                $(impl SampleUniform for $t {
+                    fn sample_uniform<R: crate::RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span = (high as u128) - (low as u128) + if inclusive { 1 } else { 0 };
+                        if span == 0 {
+                            // Inclusive range covering the whole domain.
+                            return rng.next_u64() as $t;
+                        }
+                        let value = (rng.next_u64() as u128) % span;
+                        low + value as $t
+                    }
+                })*
+            };
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {
+                $(impl SampleUniform for $t {
+                    fn sample_uniform<R: crate::RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span =
+                            (high as i128) - (low as i128) + if inclusive { 1 } else { 0 };
+                        if span <= 0 {
+                            return rng.next_u64() as $t;
+                        }
+                        let value = (rng.next_u64() as u128) % (span as u128);
+                        ((low as i128) + value as i128) as $t
+                    }
+                })*
+            };
+        }
+
+        impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+        impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_uniform<R: crate::RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (low + unit * (high - low)).clamp(low.min(high), low.max(high))
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_uniform<R: crate::RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+                (low + unit * (high - low)).clamp(low.min(high), low.max(high))
+            }
+        }
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from the standard distribution of `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 step: good enough to test the samplers.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(2);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

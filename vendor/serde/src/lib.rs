@@ -1,0 +1,192 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate provides
+//! the subset of serde the workspace actually relies on: a `Serialize` trait that
+//! lowers values into a small JSON-like [`Value`] tree (rendered by the vendored
+//! `serde_json`), a marker `Deserialize` trait, and `#[derive(Serialize, Deserialize)]`
+//! via the vendored `serde_derive`.
+//!
+//! The API is intentionally *not* the real serde data model (no `Serializer` visitor
+//! machinery); swapping the real crates back in only requires restoring the registry
+//! dependencies, since no workspace code calls beyond `derive` + `serde_json::to_string_pretty`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-like value tree, the target of [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number (NaN/inf render as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`; the workspace only derives it.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        })*
+    };
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        })*
+    };
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

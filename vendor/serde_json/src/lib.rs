@@ -1,0 +1,141 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde::Value` tree as JSON.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The vendored pipeline is infallible, so this is only here to
+/// keep call sites source-compatible with the real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value).map(|s| {
+        // Compact form is only used for byte-comparison in tests; collapsing the
+        // pretty output keeps the two renderings consistent with each other.
+        s.replace('\n', "").replace("  ", "")
+    })
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("opus".into())),
+            ("ratio".into(), Value::Float(0.25)),
+            (
+                "sizes".into(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+        ]);
+        let text = to_string_pretty(&SerializableValue(v)).unwrap();
+        assert!(text.contains("\"name\": \"opus\""));
+        assert!(text.contains("\"ratio\": 0.25"));
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    struct SerializableValue(Value);
+
+    impl Serialize for SerializableValue {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
