@@ -1,10 +1,68 @@
 //! Table 3: the OCS technology scalability–latency trade-off
-//! (`#GPUs = scale-up size × radix / 2`).
+//! (`#GPUs = scale-up size × radix / 2`), plus the datacenter-scale *simulated*
+//! scalability runs that back it up: synthesized 1k–10k GPU clusters executed by the
+//! sharded event engine under the electrical baseline and the provisioned optical
+//! policy.
+//!
+//! ```text
+//! table3_scalability [--gpus 1024,4096,10240] [--iterations 2] [--skip-sim]
+//! ```
+//!
+//! `--gpus` accepts a comma-separated list of cluster sizes (positive multiples of
+//! 64); the default runs the 1024-GPU point so the binary stays interactive, and the
+//! CI scale-smoke step runs the same point under `timeout 120`. The full paper regime
+//! is `--gpus 1024,4096,10240`. `--skip-sim` prints only the OCS technology table.
 
-use railsim_bench::Report;
+use opus::{baseline_of, OpusConfig, OpusSimulator};
+use railsim_bench::{scale_run_config, scaled_cluster, scaled_dag, Report};
 use railsim_cost::ocs_tech::{ocs_technologies, scaleup};
+use serde::Serialize;
+use std::time::Instant;
 
-fn main() {
+/// One simulated scalability data point, written to `results/table3_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+struct ScaleRun {
+    num_gpus: u32,
+    num_rails: u32,
+    event_shards: usize,
+    policy: &'static str,
+    dag_tasks: usize,
+    iterations: u32,
+    steady_iteration_time_s: f64,
+    total_reconfigs: usize,
+    wall_clock_s: f64,
+    events_per_sec: f64,
+}
+
+fn parse_args() -> (Vec<u32>, u32, bool) {
+    let mut gpus = vec![1024u32];
+    let mut iterations = 2u32;
+    let mut skip_sim = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gpus" => {
+                let list = args.next().expect("--gpus needs a comma-separated list");
+                gpus = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--gpus entries must be integers"))
+                    .collect();
+            }
+            "--iterations" => {
+                iterations = args
+                    .next()
+                    .expect("--iterations needs a value")
+                    .parse()
+                    .expect("--iterations must be an integer");
+            }
+            "--skip-sim" => skip_sim = true,
+            other => panic!("unknown argument {other}; see the crate docs"),
+        }
+    }
+    (gpus, iterations, skip_sim)
+}
+
+fn tech_table() {
     let mut report = Report::new(
         "Table 3 — Opus scalability–latency tradeoff",
         &[
@@ -31,4 +89,96 @@ fn main() {
     report.note("the paper identifies Piezo and 3D MEMS as the sweet spot: tens of ms reconfiguration, hundreds of ports");
     report.print();
     Report::write_json("table3_scalability", &techs);
+}
+
+fn run_scale_point(num_gpus: u32, iterations: u32) -> Vec<ScaleRun> {
+    let cluster = scaled_cluster(num_gpus);
+    let build_start = Instant::now();
+    let dag = scaled_dag(num_gpus);
+    let dag_tasks = dag.len();
+    eprintln!(
+        "[{num_gpus} GPUs] built {dag_tasks}-task DAG in {:.2}s",
+        build_start.elapsed().as_secs_f64()
+    );
+
+    let provisioned = scale_run_config(iterations);
+    let configs: [(&'static str, OpusConfig); 2] = [
+        ("electrical", baseline_of(&provisioned)),
+        ("optical provisioned 25ms", provisioned),
+    ];
+    let last = configs.len() - 1;
+    // The last policy takes ownership of the DAG: at 10k GPUs a deep clone of the
+    // ~900k-task arena is seconds of memcpy and a transient double-memory spike.
+    let mut dag = Some(dag);
+    let mut runs = Vec::new();
+    for (i, (policy, config)) in configs.into_iter().enumerate() {
+        let this_dag = if i == last {
+            dag.take().expect("each config consumes the DAG once")
+        } else {
+            dag.as_ref().expect("DAG still owned").clone()
+        };
+        let wall = Instant::now();
+        let mut sim = OpusSimulator::new(cluster.clone(), this_dag, config);
+        let result = sim.run();
+        let wall_clock_s = wall.elapsed().as_secs_f64();
+        // Ready + Done per task per iteration.
+        let events = 2.0 * dag_tasks as f64 * iterations as f64;
+        runs.push(ScaleRun {
+            num_gpus,
+            num_rails: cluster.num_rails(),
+            event_shards: sim.num_event_shards(),
+            policy,
+            dag_tasks,
+            iterations,
+            steady_iteration_time_s: result.steady_state_iteration_time().as_secs_f64(),
+            total_reconfigs: result.total_reconfigs(),
+            wall_clock_s,
+            events_per_sec: events / wall_clock_s.max(1e-9),
+        });
+        eprintln!("[{num_gpus} GPUs] {policy}: {wall_clock_s:.2}s wall clock");
+    }
+    runs
+}
+
+fn main() {
+    let (gpus, iterations, skip_sim) = parse_args();
+    tech_table();
+    if skip_sim {
+        return;
+    }
+
+    let mut report = Report::new(
+        "Table 3 (simulated) — sharded-engine scalability runs",
+        &[
+            "# GPUs",
+            "Policy",
+            "DAG tasks",
+            "Shards",
+            "Iter time (s)",
+            "Reconfigs",
+            "Wall clock (s)",
+            "Events/s",
+        ],
+    );
+    let mut all_runs = Vec::new();
+    for &n in &gpus {
+        for run in run_scale_point(n, iterations) {
+            report.row(&[
+                run.num_gpus.to_string(),
+                run.policy.to_string(),
+                run.dag_tasks.to_string(),
+                run.event_shards.to_string(),
+                format!("{:.3}", run.steady_iteration_time_s),
+                run.total_reconfigs.to_string(),
+                format!("{:.2}", run.wall_clock_s),
+                format!("{:.0}", run.events_per_sec),
+            ]);
+            all_runs.push(run);
+        }
+    }
+    report.note("DGX H200 nodes, TP=8 / PP=8 / FSDP over the rest, 8 micro-batches, 1F1B");
+    report.note("full paper regime: --gpus 1024,4096,10240 (see EXPERIMENTS.md)");
+    println!();
+    report.print();
+    Report::write_json("table3_scale", &all_runs);
 }

@@ -17,5 +17,6 @@ pub mod setups;
 pub use report::Report;
 pub use setups::{
     fig8_latencies_ms, paper_cluster, paper_compute, paper_dag, paper_dag_large_batch, paper_model,
-    paper_parallelism,
+    paper_parallelism, scale_gpu_counts, scale_run_config, scaled_cluster, scaled_dag,
+    scaled_parallelism,
 };

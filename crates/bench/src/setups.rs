@@ -1,8 +1,11 @@
 //! Canonical experiment setups shared by the binaries and the criterion benches.
 
+use opus::OpusConfig;
+use railsim_sim::SimDuration;
 use railsim_topology::{Cluster, ClusterSpec, NodePreset};
 use railsim_workload::{
-    ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig, TrainingDag,
+    ComputeModel, DagBuilder, DataParallelKind, GpuSpec, ModelConfig, ParallelismConfig,
+    TrainingDag,
 };
 
 /// The paper's §3.1 testbed: 4 Perlmutter GPU nodes (4× A100, NVLink 3.0, Slingshot-11).
@@ -49,6 +52,67 @@ pub fn fig8_latencies_ms() -> Vec<f64> {
     vec![0.1, 1.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]
 }
 
+/// The GPU counts of the datacenter-scale Table 3 / Fig. 7 runs.
+pub fn scale_gpu_counts() -> Vec<u32> {
+    vec![1024, 4096, 10240]
+}
+
+/// A datacenter-scale cluster of DGX H200 nodes (8 GPUs, 8 rails, ConnectX-7 400 G).
+///
+/// # Panics
+/// Panics unless `num_gpus` is a positive multiple of 64 (see [`scaled_parallelism`]).
+pub fn scaled_cluster(num_gpus: u32) -> Cluster {
+    assert!(
+        num_gpus > 0 && num_gpus.is_multiple_of(64),
+        "scaled setups need a positive multiple of 64 GPUs (8 per node x PP=8), got {num_gpus}"
+    );
+    ClusterSpec::from_preset(NodePreset::DgxH200, num_gpus / 8).build()
+}
+
+/// The parallelism configuration of the datacenter-scale runs: TP=8 inside the
+/// scale-up domain (matching the DGX H200 node), PP=8 across nodes, and FSDP over the
+/// remaining factor — the TP×PP×DP recipe Table 1 prescribes for large models beyond
+/// 1024 GPUs. 8 micro-batches keep the 1F1B pipeline full.
+pub fn scaled_parallelism(num_gpus: u32) -> ParallelismConfig {
+    assert!(
+        num_gpus > 0 && num_gpus.is_multiple_of(64),
+        "TP=8 x PP=8 needs a positive multiple of 64 GPUs, got {num_gpus}"
+    );
+    ParallelismConfig {
+        tensor: 8,
+        sequence_parallel: true,
+        context: 1,
+        expert: 1,
+        data: num_gpus / 64,
+        data_kind: DataParallelKind::FullySharded,
+        pipeline: 8,
+        num_microbatches: 8,
+        microbatch_size: 1,
+        seq_len: 8192,
+    }
+}
+
+/// The canonical simulation configuration of the datacenter-scale runs, shared by
+/// `table3_scalability` and `fig7_cost_power --simulate` so the two binaries always
+/// report the same regime: provisioned optical with a 25 ms piezo-class OCS, jitter
+/// disabled for run-to-run comparability. (The electrical baseline is
+/// `opus::baseline_of` applied to this.)
+pub fn scale_run_config(iterations: u32) -> OpusConfig {
+    OpusConfig::provisioned(SimDuration::from_millis(25))
+        .with_iterations(iterations)
+        .with_jitter(0.0, 1)
+}
+
+/// The execution DAG of one training iteration at datacenter scale (Llama 3 8B under
+/// [`scaled_parallelism`], compute modeled on the H200 of the [`scaled_cluster`]
+/// nodes). At 10240 GPUs this is on the order of a million tasks — the regime the
+/// arena-backed DAG and the sharded event engine exist for.
+pub fn scaled_dag(num_gpus: u32) -> TrainingDag {
+    let parallel = scaled_parallelism(num_gpus);
+    let compute = ComputeModel::derive(&paper_model(), &parallel, &GpuSpec::h200());
+    DagBuilder::new(paper_model(), parallel, compute).build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +132,41 @@ mod tests {
         let base = paper_dag();
         let large = paper_dag_large_batch();
         assert!(large.len() > base.len());
+    }
+
+    #[test]
+    fn scaled_setup_is_consistent_at_small_scale() {
+        // 128 GPUs keeps the debug-build test quick; the 1k-10k sizes run in the
+        // release-mode CI smoke step and the table3_scalability binary.
+        let cluster = scaled_cluster(128);
+        let parallel = scaled_parallelism(128);
+        assert_eq!(cluster.num_gpus(), 128);
+        assert_eq!(cluster.num_rails(), 8);
+        assert_eq!(parallel.world_size(), 128);
+        assert!(parallel.validate(128).is_ok());
+        let dag = scaled_dag(128);
+        assert!(dag.validate().is_ok());
+        assert!(
+            dag.len() > 128,
+            "a 128-GPU iteration has thousands of tasks"
+        );
+    }
+
+    #[test]
+    fn scale_gpu_counts_cover_the_table3_regime() {
+        let counts = scale_gpu_counts();
+        assert_eq!(counts, vec![1024, 4096, 10240]);
+        for n in counts {
+            // Every advertised size must be constructible.
+            let p = scaled_parallelism(n);
+            assert!(p.validate(n).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn scaled_setup_rejects_unaligned_sizes() {
+        let _ = scaled_parallelism(100);
     }
 
     #[test]

@@ -95,6 +95,12 @@ pub struct OpusConfig {
     pub seed: u64,
     /// Optional offload of small collectives to the host packet-switched network (§5).
     pub host_offload: Option<HostOffload>,
+    /// Number of event lanes in the sharded discrete-event engine. `None` (the
+    /// default) uses one lane per rail, which keeps each lane's heap small at the
+    /// 1k–10k GPU Table 3 scale. The shard count never changes simulation *results*
+    /// — the engine's cross-shard merge reproduces the single-queue total order
+    /// exactly — only its memory locality.
+    pub event_shards: Option<u32>,
 }
 
 impl OpusConfig {
@@ -134,6 +140,7 @@ impl OpusConfig {
             compute_jitter: 0.03,
             seed: 7,
             host_offload: None,
+            event_shards: None,
         }
     }
 
@@ -154,6 +161,13 @@ impl OpusConfig {
     pub fn with_jitter(mut self, amplitude: f64, seed: u64) -> Self {
         self.compute_jitter = amplitude;
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the event-engine shard count (default: one shard per rail).
+    pub fn with_event_shards(mut self, shards: u32) -> Self {
+        assert!(shards > 0, "the engine needs at least one event shard");
+        self.event_shards = Some(shards);
         self
     }
 
@@ -207,6 +221,19 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_rejected() {
         let _ = OpusConfig::electrical().with_iterations(0);
+    }
+
+    #[test]
+    fn event_shards_default_to_per_rail() {
+        let base = OpusConfig::electrical();
+        assert_eq!(base.event_shards, None, "default is one shard per rail");
+        assert_eq!(base.with_event_shards(16).event_shards, Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event shard")]
+    fn zero_event_shards_rejected() {
+        let _ = OpusConfig::electrical().with_event_shards(0);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct OpusController {
     events: Vec<ReconfigEvent>,
     requests: u64,
     noop_requests: u64,
+    /// Reconfigurations per rail over the controller's whole lifetime. Unlike the
+    /// event log this is never drained, so per-lane load stays observable at 10k-GPU
+    /// scale without retaining hundreds of thousands of events.
+    lifetime_by_rail: HashMap<RailId, u64>,
 }
 
 impl OpusController {
@@ -39,6 +43,7 @@ impl OpusController {
             events: Vec::new(),
             requests: 0,
             noop_requests: 0,
+            lifetime_by_rail: HashMap::new(),
         }
     }
 
@@ -139,6 +144,7 @@ impl OpusController {
                     ready_at: rail_ready,
                     circuits_installed: config.len(),
                 });
+                *self.lifetime_by_rail.entry(*rail).or_insert(0) += 1;
             }
             ready = ready.max(rail_ready);
         }
@@ -164,6 +170,17 @@ impl OpusController {
     /// The reconfigurations that touched a given rail.
     pub fn reconfigs_on_rail(&self, rail: RailId) -> usize {
         self.events.iter().filter(|e| e.rail == rail).count()
+    }
+
+    /// Total reconfigurations ever performed, across [`OpusController::take_events`]
+    /// drains.
+    pub fn lifetime_reconfigs(&self) -> u64 {
+        self.lifetime_by_rail.values().sum()
+    }
+
+    /// Lifetime reconfigurations on one rail (never reset by draining the log).
+    pub fn lifetime_reconfigs_on_rail(&self, rail: RailId) -> u64 {
+        self.lifetime_by_rail.get(&rail).copied().unwrap_or(0)
     }
 }
 
@@ -281,5 +298,12 @@ mod tests {
         assert_eq!(ctrl.take_events().len(), 1);
         assert!(ctrl.events().is_empty());
         assert_eq!(ctrl.total_reconfigs(), 0, "total follows the drained log");
+        assert_eq!(
+            ctrl.lifetime_reconfigs(),
+            1,
+            "lifetime counts survive drains"
+        );
+        assert_eq!(ctrl.lifetime_reconfigs_on_rail(RailId(0)), 1);
+        assert_eq!(ctrl.lifetime_reconfigs_on_rail(RailId(3)), 0);
     }
 }

@@ -66,6 +66,6 @@ pub use metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
 pub use shim::{OpusShim, ShimProfile};
 pub use simulation::{baseline_of, run_policies, OpusSimulator};
 pub use window::{
-    default_traffic_buckets_mb, phases_on_rail, window_cdf, windows_by_following_traffic,
-    windows_of_iterations, windows_on_rail, Phase, Window,
+    default_traffic_buckets_mb, phases_by_rail, phases_on_rail, window_cdf,
+    windows_by_following_traffic, windows_of_iterations, windows_on_rail, Phase, Window,
 };

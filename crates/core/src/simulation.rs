@@ -32,7 +32,7 @@ use railsim_collectives::{
     cost::{collective_time, CostParams},
     CollectiveKind, CommGroup, GroupId, ParallelismAxis,
 };
-use railsim_sim::{Engine, SimDuration, SimRng, SimTime};
+use railsim_sim::{ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
 use railsim_topology::{Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity};
 use railsim_workload::{TaskId, TaskKind, TrainingDag};
 use std::collections::HashMap;
@@ -61,6 +61,9 @@ pub struct OpusSimulator {
     /// Circuit demand per communication task (collectives and point-to-point).
     task_circuits: HashMap<TaskId, (GroupId, GroupCircuits)>,
     dependents: Vec<Vec<u32>>,
+    /// Event-engine lane per task, derived from the task's rail affinity.
+    task_shard: Vec<ShardId>,
+    num_shards: usize,
     backend: Backend,
     shim: OpusShim,
     rng: SimRng,
@@ -90,6 +93,11 @@ impl OpusSimulator {
         let planner = CircuitPlanner::for_cluster(&cluster);
         let task_circuits = Self::plan_task_circuits(&cluster, &dag, &group_table, &planner);
         let dependents = Self::build_dependents(&dag);
+        let num_shards = config
+            .event_shards
+            .unwrap_or_else(|| cluster.num_rails())
+            .max(1) as usize;
+        let task_shard = Self::assign_task_shards(&cluster, &dag, &task_circuits, num_shards);
 
         let backend = if config.policy.is_optical() {
             let fabric = OpticalRailFabric::for_cluster(&cluster, config.reconfig_latency);
@@ -106,10 +114,40 @@ impl OpusSimulator {
             group_table,
             task_circuits,
             dependents,
+            task_shard,
+            num_shards,
             backend,
             shim: OpusShim::new(),
             rng,
         }
+    }
+
+    /// Number of event lanes the engine runs with.
+    pub fn num_event_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Assigns every task to an event lane by rail affinity: communication tasks go to
+    /// the first rail their circuits touch, everything else to the rail of its first
+    /// participant (its local rank). Rails fold onto lanes modulo the shard count.
+    /// Shard choice is pure load balancing — the engine's global-sequence merge keeps
+    /// results byte-identical for any assignment.
+    fn assign_task_shards(
+        cluster: &Cluster,
+        dag: &TrainingDag,
+        task_circuits: &HashMap<TaskId, (GroupId, GroupCircuits)>,
+        num_shards: usize,
+    ) -> Vec<ShardId> {
+        dag.tasks
+            .iter()
+            .map(|task| {
+                let rail = task_circuits
+                    .get(&task.id)
+                    .and_then(|(_, circuits)| circuits.per_rail.keys().next().copied())
+                    .unwrap_or_else(|| cluster.rail_of(task.participants[0]));
+                ShardId(rail.0 % num_shards as u32)
+            })
+            .collect()
     }
 
     /// The group table (communication groups and their planned circuits).
@@ -146,6 +184,15 @@ impl OpusSimulator {
         table: &GroupTable,
         planner: &CircuitPlanner,
     ) -> HashMap<TaskId, (GroupId, GroupCircuits)> {
+        // Groups partition the ranks of each axis, so `(axis, rank) -> group` is a
+        // function; index it once instead of scanning every group per point-to-point
+        // task (the scan was quadratic at the 10k-GPU scale: #p2p tasks x #groups).
+        let mut member_group: HashMap<(ParallelismAxis, GpuId), GroupId> = HashMap::new();
+        for g in dag.groups.values() {
+            for rank in &g.ranks {
+                member_group.insert((g.axis, *rank), g.id);
+            }
+        }
         let mut out = HashMap::new();
         for task in dag.communication_tasks() {
             match &task.kind {
@@ -161,10 +208,10 @@ impl OpusSimulator {
                     // group it belongs to (circuit allocation is per group, §5): find
                     // the group on the same axis containing both endpoints, or fall
                     // back to planning an ad-hoc pair.
-                    let group = dag
-                        .groups
-                        .values()
-                        .find(|g| g.axis == *axis && g.contains(*src) && g.contains(*dst));
+                    let group = member_group
+                        .get(&(*axis, *src))
+                        .filter(|id| member_group.get(&(*axis, *dst)) == Some(id))
+                        .map(|id| &dag.groups[id]);
                     match group {
                         Some(g) => {
                             let circuits = table
@@ -225,10 +272,15 @@ impl OpusSimulator {
         let mut comm_records: Vec<CommRecord> = Vec::new();
         let mut total_circuit_wait = SimDuration::ZERO;
 
-        let mut engine: Engine<SimEvent> = Engine::new();
+        // One event lane per rail (folded modulo the shard count): each task's Ready
+        // and Done events run on the lane of the rail its traffic touches, so the
+        // per-lane heaps stay small at 10k-GPU scale while the global-sequence merge
+        // keeps the pop order identical to a single queue.
+        let mut engine: ShardedEngine<SimEvent> = ShardedEngine::new(self.num_shards);
         for task in &self.dag.tasks {
             if task.deps.is_empty() {
-                engine.schedule_at(start, SimEvent::Ready(task.id));
+                let shard = self.task_shard[task.id.0 as usize];
+                engine.schedule_at(shard, start, SimEvent::Ready(task.id));
             }
         }
 
@@ -243,7 +295,7 @@ impl OpusSimulator {
                         total_circuit_wait = total_circuit_wait.saturating_add(rec.circuit_wait);
                         comm_records.push(rec);
                     }
-                    engine.schedule_at(end, SimEvent::Done(id));
+                    engine.schedule_at(self.task_shard[id.0 as usize], end, SimEvent::Done(id));
                 }
                 SimEvent::Done(id) => {
                     for &dep_idx in &self.dependents[id.0 as usize] {
@@ -251,7 +303,8 @@ impl OpusSimulator {
                         debug_assert!(*slot > 0, "dependency counter underflow");
                         *slot -= 1;
                         if *slot == 0 {
-                            engine.schedule_at(now, SimEvent::Ready(TaskId(dep_idx)));
+                            let shard = self.task_shard[dep_idx as usize];
+                            engine.schedule_at(shard, now, SimEvent::Ready(TaskId(dep_idx)));
                         }
                     }
                 }
@@ -261,6 +314,12 @@ impl OpusSimulator {
         debug_assert!(
             remaining.iter().all(|&r| r == 0),
             "every task must have executed"
+        );
+        assert_eq!(
+            engine.clamped_events(),
+            0,
+            "the DAG executor never schedules into the past; a clamp means the \
+             sharded merge delivered an event out of order"
         );
         let end = finish.iter().copied().max().unwrap_or(start).max(start);
         comm_records.sort_by_key(|r| (r.issued_at, r.task));
@@ -740,6 +799,39 @@ mod tests {
             has_offloaded_record,
             "some traffic must actually have been offloaded"
         );
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        // The sharded engine's merge must reproduce the single-queue total order, so
+        // any shard count — including 1, which *is* the single-queue layout — must
+        // yield identical records, timings and reconfigurations.
+        let (cluster, dag) = tiny_setup();
+        let base = OpusConfig::provisioned(SimDuration::from_millis(25))
+            .with_iterations(2)
+            .with_jitter(0.05, 9);
+        let reference = OpusSimulator::new(cluster.clone(), dag.clone(), base).run();
+        for shards in [1u32, 2, 7, 64] {
+            let mut sim =
+                OpusSimulator::new(cluster.clone(), dag.clone(), base.with_event_shards(shards));
+            assert_eq!(sim.num_event_shards(), shards as usize);
+            let run = sim.run();
+            assert_eq!(run.iterations.len(), reference.iterations.len());
+            for (a, b) in run.iterations.iter().zip(reference.iterations.iter()) {
+                assert_eq!(a.iteration_time, b.iteration_time, "{shards} shards");
+                assert_eq!(a.comm_records, b.comm_records, "{shards} shards");
+                assert_eq!(a.reconfig_events, b.reconfig_events, "{shards} shards");
+                assert_eq!(a.total_circuit_wait, b.total_circuit_wait);
+            }
+        }
+    }
+
+    #[test]
+    fn default_shard_count_is_one_per_rail() {
+        let (cluster, dag) = tiny_setup();
+        let rails = cluster.num_rails() as usize;
+        let sim = OpusSimulator::new(cluster, dag, OpusConfig::electrical());
+        assert_eq!(sim.num_event_shards(), rails);
     }
 
     #[test]

@@ -67,7 +67,56 @@ pub fn phases_on_rail(records: &[CommRecord], rail: RailId) -> Vec<Phase> {
         .filter(|r| r.scaleout && r.rails.contains(&rail))
         .collect();
     on_rail.sort_by_key(|r| (r.issued_at, r.task));
+    phases_of_stream(rail, &on_rail)
+}
 
+/// Extracts the inter-parallelism windows of one rail from one iteration's records.
+///
+/// Only positive gaps are reported: overlapping phases (the next phase's first
+/// operation was issued before the previous phase finished) leave no window to hide a
+/// reconfiguration in and are skipped.
+pub fn windows_on_rail(records: &[CommRecord], rail: RailId) -> Vec<Window> {
+    windows_of_phases(&phases_on_rail(records, rail))
+}
+
+/// Splits the scale-out records of *every* requested rail into phases in one pass.
+///
+/// Equivalent to calling [`phases_on_rail`] per rail, but the record list is walked
+/// once instead of once per rail — the difference between seconds and minutes when a
+/// 10k-GPU iteration produces hundreds of thousands of records across many rails.
+/// Rails are returned in the order given.
+pub fn phases_by_rail(records: &[CommRecord], rails: &[RailId]) -> Vec<(RailId, Vec<Phase>)> {
+    // A rail may legitimately appear more than once in `rails`; every occurrence gets
+    // the full stream, keeping the documented per-rail equivalence unconditional.
+    let mut lanes_of: std::collections::HashMap<RailId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, &rail) in rails.iter().enumerate() {
+        lanes_of.entry(rail).or_default().push(i);
+    }
+    // One issue-ordered record stream per requested rail (a record carrying several
+    // rails contributes to each of them, exactly like the per-rail filter).
+    let mut streams: Vec<Vec<&CommRecord>> = vec![Vec::new(); rails.len()];
+    for rec in records.iter().filter(|r| r.scaleout) {
+        for rail in &rec.rails {
+            if let Some(lanes) = lanes_of.get(rail) {
+                for &lane in lanes {
+                    streams[lane].push(rec);
+                }
+            }
+        }
+    }
+    rails
+        .iter()
+        .zip(streams)
+        .map(|(&rail, mut on_rail)| {
+            on_rail.sort_by_key(|r| (r.issued_at, r.task));
+            (rail, phases_of_stream(rail, &on_rail))
+        })
+        .collect()
+}
+
+/// Folds one rail's issue-ordered record stream into parallelism phases.
+fn phases_of_stream(rail: RailId, on_rail: &[&CommRecord]) -> Vec<Phase> {
     let mut phases: Vec<Phase> = Vec::new();
     for rec in on_rail {
         match phases.last_mut() {
@@ -90,19 +139,15 @@ pub fn phases_on_rail(records: &[CommRecord], rail: RailId) -> Vec<Phase> {
     phases
 }
 
-/// Extracts the inter-parallelism windows of one rail from one iteration's records.
-///
-/// Only positive gaps are reported: overlapping phases (the next phase's first
-/// operation was issued before the previous phase finished) leave no window to hide a
-/// reconfiguration in and are skipped.
-pub fn windows_on_rail(records: &[CommRecord], rail: RailId) -> Vec<Window> {
-    let phases = phases_on_rail(records, rail);
+/// Turns one rail's phase sequence into inter-parallelism windows (positive gaps only;
+/// see [`windows_on_rail`]).
+fn windows_of_phases(phases: &[Phase]) -> Vec<Window> {
     let mut windows = Vec::new();
     for pair in phases.windows(2) {
         let (p1, p2) = (&pair[0], &pair[1]);
         if p2.first_issue > p1.last_end {
             windows.push(Window {
-                rail,
+                rail: p1.rail,
                 before: p1.axis,
                 after: p2.axis,
                 opens: p1.last_end,
@@ -116,12 +161,12 @@ pub fn windows_on_rail(records: &[CommRecord], rail: RailId) -> Vec<Window> {
 }
 
 /// Extracts the windows of every rail from a set of iteration results (Fig. 4
-/// aggregates 10 iterations).
+/// aggregates 10 iterations). Single pass over each iteration's records.
 pub fn windows_of_iterations(iterations: &[IterationResult], rails: &[RailId]) -> Vec<Window> {
     let mut all = Vec::new();
     for it in iterations {
-        for &rail in rails {
-            all.extend(windows_on_rail(&it.comm_records, rail));
+        for (_, phases) in phases_by_rail(&it.comm_records, rails) {
+            all.extend(windows_of_phases(&phases));
         }
     }
     all
@@ -233,6 +278,40 @@ mod tests {
         ];
         let windows = windows_on_rail(&records, RailId(0));
         assert_eq!(windows[0].duration, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn single_pass_multi_rail_extraction_matches_per_rail() {
+        let records = vec![
+            record(ParallelismAxis::Data, 0, 0, 20, 957, 0),
+            record(ParallelismAxis::Pipeline, 40, 41, 45, 64, 0),
+            record(ParallelismAxis::Data, 5, 5, 25, 100, 1),
+            record(ParallelismAxis::Pipeline, 60, 60, 70, 64, 1),
+            record(ParallelismAxis::Data, 90, 90, 95, 50, 1),
+        ];
+        let rails = [RailId(0), RailId(1), RailId(2), RailId(0)];
+        let by_rail = phases_by_rail(&records, &rails);
+        assert_eq!(by_rail.len(), 4);
+        for (rail, phases) in &by_rail {
+            // Equivalence holds for every occurrence, including the duplicate rail 0.
+            assert_eq!(phases, &phases_on_rail(&records, *rail), "{rail}");
+        }
+        let all = windows_of_iterations(
+            &[crate::metrics::IterationResult {
+                iteration: 0,
+                iteration_time: SimDuration::from_millis(100),
+                started_at: SimTime::ZERO,
+                comm_records: records.clone(),
+                reconfig_events: vec![],
+                total_circuit_wait: SimDuration::ZERO,
+            }],
+            &rails,
+        );
+        let per_rail: usize = rails
+            .iter()
+            .map(|&r| windows_on_rail(&records, r).len())
+            .sum();
+        assert_eq!(all.len(), per_rail);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    clamped: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -34,6 +35,7 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            clamped: 0,
         }
     }
 
@@ -45,6 +47,15 @@ impl<E> Engine<E> {
     /// Number of events processed so far.
     pub fn processed_events(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of events that were scheduled in the past and clamped to fire "now".
+    ///
+    /// Release builds clamp instead of panicking so the simulation makes progress, but
+    /// a non-zero count means the caller's event logic violated causality; correctness
+    /// guards (the sharded merge, the determinism suite) assert this stays zero.
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
     }
 
     /// Number of events still pending.
@@ -60,13 +71,18 @@ impl<E> Engine<E> {
     /// Schedules `event` at the absolute time `at`.
     ///
     /// Scheduling in the past is a logic error: it panics in debug builds; in release
-    /// builds the event is clamped to fire "now" so the simulation still makes progress.
+    /// builds the event is clamped to fire "now" so the simulation still makes
+    /// progress, and the clamp is counted in [`Engine::clamped_events`] so callers can
+    /// assert it never happened.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
             "scheduled an event in the past: at={at} now={}",
             self.now
         );
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         self.queue.push(at, event);
     }
@@ -189,5 +205,26 @@ mod tests {
         engine.schedule_at(SimTime::from_millis(10), ());
         engine.pop();
         engine.schedule_at(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn well_behaved_schedules_never_clamp() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(1), 1u32);
+        engine.schedule_after(SimDuration::from_millis(2), 2);
+        engine.run(|_, _, _| {});
+        assert_eq!(engine.clamped_events(), 0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn past_scheduling_is_clamped_and_counted_in_release() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(10), 0u32);
+        engine.pop();
+        engine.schedule_at(SimTime::from_millis(1), 1);
+        assert_eq!(engine.clamped_events(), 1);
+        let (t, _) = engine.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(10), "clamped to now, not the past");
     }
 }

@@ -7,6 +7,8 @@
 //! * [`units`] — byte counts and bandwidths with explicit unit conversions,
 //! * [`EventQueue`] — a deterministic priority queue of timestamped events,
 //! * [`Engine`] — a minimal discrete-event simulation driver,
+//! * [`ShardedEngine`] — the same driver with one event lane per shard (rail) and a
+//!   deterministic cross-shard merge, for 1k–10k GPU clusters,
 //! * [`SimRng`] — a seedable, reproducible random-number generator,
 //! * [`stats`] — summary statistics, histograms and empirical CDFs used by the
 //!   experiment harness.
@@ -43,6 +45,7 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod sharded;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -50,5 +53,6 @@ pub mod units;
 pub use engine::Engine;
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;
+pub use sharded::{ShardId, ShardedEngine};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, Bytes};

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use railsim_sim::stats::{Cdf, Summary};
-use railsim_sim::{Bandwidth, Bytes, Engine, EventQueue, SimDuration, SimTime};
+use railsim_sim::{Bandwidth, Bytes, Engine, EventQueue, ShardedEngine, SimDuration, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -48,6 +48,74 @@ proptest! {
         }
         prop_assert_eq!(seen, delays.len());
         prop_assert_eq!(engine.processed_events(), delays.len() as u64);
+    }
+
+    #[test]
+    fn sharded_engine_pops_the_single_queue_order(
+        schedule in proptest::collection::vec((0u64..1_000_000u64, 0u32..64u32), 1..300),
+        num_shards in 1u32..64u32,
+    ) {
+        // The sharded engine must be a drop-in replacement for the single queue: for
+        // an arbitrary schedule and an arbitrary shard assignment (1..64 shards), both
+        // engines pop the exact same (time, event) sequence.
+        let mut single: Engine<usize> = Engine::new();
+        let mut sharded: ShardedEngine<usize> = ShardedEngine::new(num_shards as usize);
+        for (i, &(nanos, key)) in schedule.iter().enumerate() {
+            let at = SimTime::from_nanos(nanos);
+            single.schedule_at(at, i);
+            sharded.schedule_at(sharded.shard_for(key), at, i);
+        }
+        loop {
+            let a = single.pop();
+            let b = sharded.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(single.processed_events(), sharded.processed_events());
+        prop_assert_eq!(sharded.clamped_events(), 0);
+    }
+
+    #[test]
+    fn sharded_engine_matches_single_queue_with_cascading_events(
+        seeds in proptest::collection::vec((0u64..10_000u64, 0u32..64u32), 1..40),
+        num_shards in 1u32..64u32,
+        fanout in 1u32..4u32,
+    ) {
+        // Same property, but with events scheduled *during* the run (the simulator's
+        // Ready -> Done pattern): every popped event below a depth budget schedules
+        // follow-ups at now + delta, hopping shards deterministically.
+        let mut single: Engine<(u64, u32)> = Engine::new();
+        let mut sharded: ShardedEngine<(u64, u32)> = ShardedEngine::new(num_shards as usize);
+        for &(nanos, key) in &seeds {
+            let at = SimTime::from_nanos(nanos);
+            single.schedule_at(at, (nanos, 0));
+            sharded.schedule_at(sharded.shard_for(key), at, (nanos, 0));
+        }
+        let mut single_log = Vec::new();
+        single.run(|eng, t, (tag, depth)| {
+            single_log.push((t, tag, depth));
+            if depth < 2 {
+                for f in 0..fanout {
+                    let delta = SimDuration::from_nanos(tag % 97 + u64::from(f));
+                    eng.schedule_after(delta, (tag.wrapping_add(u64::from(f) + 1), depth + 1));
+                }
+            }
+        });
+        let mut sharded_log = Vec::new();
+        sharded.run(|eng, t, _shard, (tag, depth)| {
+            sharded_log.push((t, tag, depth));
+            if depth < 2 {
+                for f in 0..fanout {
+                    let delta = SimDuration::from_nanos(tag % 97 + u64::from(f));
+                    let shard = eng.shard_for((tag % 64) as u32 + f);
+                    eng.schedule_after(shard, delta, (tag.wrapping_add(u64::from(f) + 1), depth + 1));
+                }
+            }
+        });
+        prop_assert_eq!(single_log, sharded_log);
+        prop_assert_eq!(sharded.clamped_events(), 0);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Chunked typed arenas for DAG construction.
+//!
+//! Building a 10k-GPU iteration DAG allocates on the order of a million tasks. A
+//! plain `Vec` doubles-and-moves the whole task set every time it grows — at the
+//! Table 3 scale that is hundreds of megabytes of memcpy churn per build — and every
+//! reallocation invalidates interior references. An [`Arena`] instead stores elements
+//! in fixed-size chunks: pushing never moves an element that was already allocated,
+//! so handles stay stable for the lifetime of the arena and growth costs one chunk
+//! allocation instead of a full copy.
+//!
+//! [`Handle<T>`] is a typed `u32` index: it is `Copy`, 4 bytes, and cannot be used to
+//! index an arena of a different element type. The DAG layer wraps it further
+//! ([`crate::TaskId`] indexes the task arena) so cross-layer code never mixes up id
+//! spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Number of elements per chunk. A power of two so the index split compiles to a
+/// shift/mask pair.
+const CHUNK: usize = 1 << 12;
+
+/// A typed index into an [`Arena<T>`].
+pub struct Handle<T> {
+    index: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Handle<T> {
+    /// Creates a handle from a raw index. The caller is responsible for the index
+    /// being in-bounds for the arena it will be used with.
+    pub fn from_raw(index: u32) -> Self {
+        Handle {
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The raw index as the stored `u32`.
+    pub fn raw(self) -> u32 {
+        self.index
+    }
+}
+
+// Manual impls: deriving would bound them on `T: Clone` etc., which a PhantomData
+// index does not need.
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl<T> Eq for Handle<T> {}
+impl<T> std::hash::Hash for Handle<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+    }
+}
+impl<T> fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle({})", self.index)
+    }
+}
+
+/// A chunked arena: contiguous `u32`-indexed storage that never moves an element
+/// after allocation.
+pub struct Arena<T> {
+    chunks: Vec<Vec<T>>,
+    len: usize,
+}
+
+// Manual Clone: a derived impl would clone each chunk Vec at capacity == len, so
+// alloc-ing into the clone's partially-filled last chunk would reallocate and move
+// its elements — violating the never-reallocate invariant documented above.
+impl<T: Clone> Clone for Arena<T> {
+    fn clone(&self) -> Self {
+        let chunks = self
+            .chunks
+            .iter()
+            .map(|chunk| {
+                let mut copy = Vec::with_capacity(CHUNK);
+                copy.extend(chunk.iter().cloned());
+                copy
+            })
+            .collect();
+        Arena {
+            chunks,
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an arena with the chunk *index* pre-reserved for `capacity` elements
+    /// and the first chunk pre-allocated. Chunks are always allocated at full `CHUNK`
+    /// capacity — never smaller — so growth within a chunk can never reallocate it
+    /// and move elements (the arena's core invariant).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut arena = Arena {
+            chunks: Vec::with_capacity(capacity.div_ceil(CHUNK).max(1)),
+            len: 0,
+        };
+        arena.chunks.push(Vec::with_capacity(CHUNK));
+        arena
+    }
+
+    /// Number of elements allocated.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocates `value`, returning its handle.
+    ///
+    /// # Panics
+    /// Panics if the arena already holds `u32::MAX` elements.
+    pub fn alloc(&mut self, value: T) -> Handle<T> {
+        assert!(self.len < u32::MAX as usize, "arena is full");
+        if self.chunks.last().is_none_or(|chunk| chunk.len() == CHUNK) {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.chunks
+            .last_mut()
+            .expect("chunk pushed above")
+            .push(value);
+        let handle = Handle::from_raw(self.len as u32);
+        self.len += 1;
+        handle
+    }
+
+    /// Borrows the element at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        Some(&self.chunks[index / CHUNK][index % CHUNK])
+    }
+
+    /// Mutably borrows the element at `index`, or `None` when out of bounds.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if index >= self.len {
+            return None;
+        }
+        Some(&mut self.chunks[index / CHUNK][index % CHUNK])
+    }
+
+    /// Iterates the elements in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flatten()
+    }
+
+    /// Iterates the elements mutably, in allocation order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.chunks.iter_mut().flatten()
+    }
+}
+
+impl<T> std::ops::Index<Handle<T>> for Arena<T> {
+    type Output = T;
+    fn index(&self, handle: Handle<T>) -> &T {
+        self.get(handle.index()).expect("stale arena handle")
+    }
+}
+
+impl<T> std::ops::IndexMut<Handle<T>> for Arena<T> {
+    fn index_mut(&mut self, handle: Handle<T>) -> &mut T {
+        self.get_mut(handle.index()).expect("stale arena handle")
+    }
+}
+
+impl<T> std::ops::Index<usize> for Arena<T> {
+    type Output = T;
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("arena index out of bounds")
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Arena<T> {
+    fn index_mut(&mut self, index: usize) -> &mut T {
+        self.get_mut(index).expect("arena index out of bounds")
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Arena<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Vec<T>>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flatten()
+    }
+}
+
+impl<T> FromIterator<T> for Arena<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut arena = Arena::new();
+        for value in iter {
+            arena.alloc(value);
+        }
+        arena
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Arena<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+// The vendored serde models serialization as a direct lowering to a JSON value tree;
+// an arena serializes as the flat sequence of its elements, indistinguishable from
+// the `Vec<T>` it replaced. (With the real serde these become a `serialize_seq` loop
+// and a sequence visitor — see the vendor-stub note in ROADMAP.md.)
+impl<T: Serialize> Serialize for Arena<T> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Arena<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_index_roundtrip() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("a");
+        let b = arena.alloc("b");
+        assert_eq!(arena[a], "a");
+        assert_eq!(arena[b], "b");
+        assert_eq!(arena[1usize], "b");
+        assert_eq!(arena.len(), 2);
+        assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn growth_crosses_chunk_boundaries() {
+        let mut arena = Arena::with_capacity(10);
+        let n = CHUNK * 2 + 17;
+        let handles: Vec<_> = (0..n).map(|i| arena.alloc(i)).collect();
+        assert_eq!(arena.len(), n);
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(h.index(), i);
+            assert_eq!(arena[h], i);
+        }
+        let collected: Vec<_> = arena.iter().copied().collect();
+        assert_eq!(collected, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clones_keep_full_chunk_capacity() {
+        let mut original: Arena<u64> = (0..10).collect();
+        let mut cloned = original.clone();
+        assert_eq!(original, cloned);
+        // Allocating into the clone's partially-filled last chunk must not move its
+        // existing elements (the chunk must have been cloned at full capacity).
+        let h = Handle::<u64>::from_raw(0);
+        let before = std::ptr::from_ref(&cloned[h]);
+        for i in 10..CHUNK as u64 {
+            cloned.alloc(i);
+        }
+        assert_eq!(before, std::ptr::from_ref(&cloned[h]));
+        // The original is untouched.
+        original.alloc(99);
+        assert_eq!(original.len(), 11);
+        assert_eq!(cloned.len(), CHUNK);
+    }
+
+    #[test]
+    fn with_capacity_first_chunk_never_moves_elements() {
+        // Chunks are allocated at full CHUNK capacity even for a small capacity hint,
+        // so filling the first chunk must not relocate an already-allocated element.
+        let mut arena = Arena::with_capacity(10);
+        let h = arena.alloc(0u64);
+        let before = std::ptr::from_ref(&arena[h]);
+        for i in 1..CHUNK as u64 {
+            arena.alloc(i);
+        }
+        assert_eq!(before, std::ptr::from_ref(&arena[h]));
+    }
+
+    #[test]
+    fn mutation_through_handles() {
+        let mut arena = Arena::new();
+        let h = arena.alloc(1u32);
+        arena[h] += 41;
+        assert_eq!(arena[h], 42);
+        for v in arena.iter_mut() {
+            *v *= 2;
+        }
+        assert_eq!(arena[h], 84);
+    }
+
+    #[test]
+    fn from_iter_and_equality() {
+        let a: Arena<u32> = (0..100).collect();
+        let b: Arena<u32> = (0..100).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.get(99), Some(&99));
+        assert_eq!(a.get(100), None);
+    }
+
+    #[test]
+    fn serializes_as_a_flat_sequence() {
+        use serde::Serialize as _;
+        let arena: Arena<u32> = (0..3).collect();
+        assert_eq!(arena.to_value(), vec![0u32, 1, 2].to_value());
+    }
+
+    #[test]
+    fn handles_are_typed_and_compact() {
+        assert_eq!(std::mem::size_of::<Handle<String>>(), 4);
+        let h: Handle<String> = Handle::from_raw(7);
+        assert_eq!(h.raw(), 7);
+        assert_eq!(h, h);
+        assert_eq!(format!("{h:?}"), "Handle(7)");
+    }
+}

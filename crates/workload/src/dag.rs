@@ -22,6 +22,7 @@
 //! * a short synchronization epilogue (grad-norm / loss AllReduces) precedes the
 //!   optimizer step.
 
+use crate::arena::{Arena, Handle};
 use crate::compute::ComputeModel;
 use crate::model::ModelConfig;
 use crate::parallelism::{DataParallelKind, ParallelismConfig};
@@ -37,6 +38,33 @@ use std::collections::{BTreeMap, HashMap};
 /// Identifier of a task within a [`TrainingDag`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The equivalent typed arena handle.
+    fn handle(self) -> Handle<Task> {
+        Handle::from_raw(self.0)
+    }
+}
+
+/// The arena holding a DAG's tasks: task `i` lives at handle/index `i`.
+///
+/// Backed by [`Arena`], so building a million-task DAG (the 10k-GPU Table 3 regime)
+/// never relocates already-created tasks and serializes exactly like the `Vec<Task>`
+/// it replaced.
+pub type TaskArena = Arena<Task>;
+
+impl std::ops::Index<TaskId> for TaskArena {
+    type Output = Task;
+    fn index(&self, id: TaskId) -> &Task {
+        &self[id.handle()]
+    }
+}
+
+impl std::ops::IndexMut<TaskId> for TaskArena {
+    fn index_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self[id.handle()]
+    }
+}
 
 /// What a task does.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,7 +147,7 @@ pub struct Task {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainingDag {
     /// All tasks, indexed by `TaskId` (task `i` is at position `i`).
-    pub tasks: Vec<Task>,
+    pub tasks: TaskArena,
     /// Every communication group referenced by the tasks.
     pub groups: BTreeMap<GroupId, CommGroup>,
     /// The parallelism configuration the DAG was built for.
@@ -139,7 +167,7 @@ impl TrainingDag {
 
     /// Borrow a task.
     pub fn task(&self, id: TaskId) -> &Task {
-        &self.tasks[id.0 as usize]
+        &self.tasks[id]
     }
 
     /// Borrow a communication group.
@@ -287,7 +315,7 @@ pub struct DagBuilder {
 
 /// Internal builder state.
 struct BuildState {
-    tasks: Vec<Task>,
+    tasks: TaskArena,
     /// Last compute task per rank (serializes the compute stream).
     compute_tail: HashMap<GpuId, TaskId>,
     /// Last communication task per (rank, axis) (serializes each comm stream).
@@ -304,7 +332,7 @@ struct BuildState {
 impl BuildState {
     fn new() -> Self {
         BuildState {
-            tasks: Vec::new(),
+            tasks: TaskArena::new(),
             compute_tail: HashMap::new(),
             comm_tail: HashMap::new(),
             collective_instances: HashMap::new(),
@@ -317,7 +345,7 @@ impl BuildState {
         // Deduplicate dependencies while preserving order.
         let mut seen = std::collections::HashSet::new();
         task.deps.retain(|d| seen.insert(*d));
-        self.tasks.push(task);
+        self.tasks.alloc(task);
         id
     }
 
@@ -363,7 +391,7 @@ impl BuildState {
         if let Some(&existing) = self.collective_instances.get(&key) {
             // A peer already created this collective instance: join it by contributing
             // our prerequisites, so the collective waits for its slowest participant.
-            let task = &mut self.tasks[existing.0 as usize];
+            let task = &mut self.tasks[existing];
             for dep in deps {
                 if dep != existing && !task.deps.contains(&dep) {
                     task.deps.push(dep);
@@ -930,7 +958,7 @@ impl DagBuilder {
                 if let (Some(&prev_last), Some(&next_first)) =
                     (last_of_op.get(&prev_key), first_of_op.get(&next_key))
                 {
-                    let task = &mut st.tasks[next_first.0 as usize];
+                    let task = &mut st.tasks[next_first];
                     if !task.deps.contains(&prev_last) {
                         task.deps.push(prev_last);
                     }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod compute;
 pub mod dag;
 pub mod model;
@@ -43,8 +44,9 @@ pub mod strategy;
 pub mod traffic;
 pub mod windows;
 
+pub use arena::{Arena, Handle};
 pub use compute::{ComputeModel, GpuSpec};
-pub use dag::{DagBuilder, Task, TaskId, TaskKind, TrainingDag};
+pub use dag::{DagBuilder, Task, TaskArena, TaskId, TaskKind, TrainingDag};
 pub use model::{DType, ModelConfig};
 pub use parallelism::{DataParallelKind, ParallelismConfig};
 pub use pipeline::{PipelineOp, PipelinePhase, PipelineSchedule};
