@@ -1,0 +1,189 @@
+//! Compares a fresh `BENCH_scale.json` against the committed perf baseline and fails
+//! on regressions, so the perf trajectory the `bench` CI job tracks is *enforced*
+//! rather than merely recorded.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--max-regress 0.25]
+//! ```
+//!
+//! Each bench present in the baseline must also be present in the fresh run and must
+//! not be more than `--max-regress` (default 25 %) slower in ns/iter; a baseline
+//! bench missing from the fresh run fails too (a silently vanished bench would
+//! un-gate its hot path). Benches only present in the fresh run are reported but not
+//! gated — they are additions the next baseline refresh picks up.
+//!
+//! The vendored serde has no deserializer, so the two documents are read with a
+//! minimal field scanner that understands exactly the `bench_scale` output shape:
+//! a `benches` array of objects with `"name"` and `"ns_per_iter"` fields.
+
+use railsim_bench::Report;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `name -> ns_per_iter` pairs from a `BENCH_scale.json` document.
+fn parse_benches(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut current_name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(value) = field_value(line, "name") {
+            current_name = Some(value.trim_matches('"').to_string());
+        } else if let Some(value) = field_value(line, "ns_per_iter") {
+            if let (Some(name), Ok(ns)) = (current_name.take(), value.parse::<f64>()) {
+                out.insert(name, ns);
+            }
+        }
+    }
+    out
+}
+
+/// The raw value of a `"key": value` line (trailing comma stripped), if it matches.
+fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(&format!("\"{key}\":"))?;
+    Some(rest.trim().trim_end_matches(','))
+}
+
+fn read_benches(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("could not read bench report {path}: {e}"));
+    let benches = parse_benches(&text);
+    assert!(
+        !benches.is_empty(),
+        "no benches found in {path}; is it a bench_scale report?"
+    );
+    benches
+}
+
+fn main() -> ExitCode {
+    let mut max_regress = 0.25f64;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .expect("--max-regress needs a value")
+                    .parse()
+                    .expect("--max-regress must be a fraction, e.g. 0.25");
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--max-regress 0.25]");
+        return ExitCode::FAILURE;
+    };
+
+    let baseline = read_benches(baseline_path);
+    let fresh = read_benches(fresh_path);
+
+    let mut report = Report::new(
+        format!(
+            "Perf baseline comparison (fail at +{:.0} %)",
+            max_regress * 100.0
+        ),
+        &[
+            "Bench",
+            "Baseline ns/iter",
+            "Fresh ns/iter",
+            "Delta",
+            "Verdict",
+        ],
+    );
+    let mut regressions = Vec::new();
+    for (name, &base_ns) in &baseline {
+        match fresh.get(name) {
+            Some(&fresh_ns) => {
+                let delta = fresh_ns / base_ns - 1.0;
+                let verdict = if delta > max_regress {
+                    regressions.push(format!("{name}: {:+.1} %", delta * 100.0));
+                    "REGRESSED"
+                } else if delta < 0.0 {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                report.row(&[
+                    name.clone(),
+                    format!("{base_ns:.1}"),
+                    format!("{fresh_ns:.1}"),
+                    format!("{:+.1} %", delta * 100.0),
+                    verdict.to_string(),
+                ]);
+            }
+            None => {
+                report.row(&[
+                    name.clone(),
+                    format!("{base_ns:.1}"),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "missing in fresh run".to_string(),
+                ]);
+                regressions.push(format!("{name}: missing from the fresh run"));
+            }
+        }
+    }
+    for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
+        report.row(&[
+            name.clone(),
+            "-".to_string(),
+            format!("{:.1}", fresh[name]),
+            "-".to_string(),
+            "new bench (not gated)".to_string(),
+        ]);
+    }
+    report.print();
+
+    if regressions.is_empty() {
+        println!(
+            "bench_compare: all {} gated benches within budget",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_compare: {} regression(s) beyond {:.0} %:\n  {}",
+            regressions.len(),
+            max_regress * 100.0,
+            regressions.join("\n  ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "git_sha": "abc",
+  "gpu_count": 16,
+  "benches": [
+    {
+      "name": "controller_alternating_requests_1k",
+      "ns_per_iter": 449285.3,
+      "iters": 446
+    },
+    {
+      "name": "window_cdf_rail0",
+      "ns_per_iter": 108.8,
+      "iters": 1000000
+    }
+  ]
+}"#;
+
+    #[test]
+    fn parses_bench_scale_reports() {
+        let benches = parse_benches(SAMPLE);
+        assert_eq!(benches.len(), 2);
+        assert!((benches["controller_alternating_requests_1k"] - 449285.3).abs() < 1e-6);
+        assert!((benches["window_cdf_rail0"] - 108.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ignores_non_bench_fields() {
+        let benches = parse_benches("{\n\"git_sha\": \"x\",\n\"gpu_count\": 16\n}");
+        assert!(benches.is_empty());
+    }
+}

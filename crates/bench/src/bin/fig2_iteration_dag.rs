@@ -33,7 +33,7 @@ fn main() {
         let count = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with(prefix))
+            .filter(|t| t.label_str().starts_with(prefix))
             .count();
         summary.row(&[format!("{prefix}* tasks"), count.to_string()]);
     }
@@ -59,7 +59,7 @@ fn main() {
                 TaskKind::PointToPoint { axis, bytes, .. } => (axis.to_string(), bytes.to_string()),
                 TaskKind::Compute { .. } => unreachable!("filtered to communication tasks"),
             };
-            seq.row(&[i.to_string(), task.label.clone(), axis, bytes]);
+            seq.row(&[i.to_string(), task.label.to_string(), axis, bytes]);
         }
         seq.print();
         println!();

@@ -5,16 +5,22 @@
 //! policy.
 //!
 //! ```text
-//! table3_scalability [--gpus 1024,4096,10240] [--iterations 2] [--skip-sim]
+//! table3_scalability [--gpus 1024,4096,10240,102400] [--iterations 2]
+//!                    [--parallel-threads N] [--skip-sim]
 //! ```
 //!
 //! `--gpus` accepts a comma-separated list of cluster sizes (positive multiples of
 //! 64); the default runs the 1024-GPU point so the binary stays interactive, and the
-//! CI scale-smoke step runs the same point under `timeout 120`. The full paper regime
-//! is `--gpus 1024,4096,10240`. `--skip-sim` prints only the OCS technology table.
+//! CI scale-smoke steps run the 1k point sequentially plus the 10k point with
+//! `--parallel-threads` under `timeout 120`. The full paper regime is
+//! `--gpus 1024,4096,10240`; `--gpus 102400` exercises the 100k-GPU ceiling
+//! (interned DAG + dense controller state; see EXPERIMENTS.md for the memory
+//! budget). `--parallel-threads N` steps each head time-slice on N scoped worker
+//! threads — results are byte-identical for any N. `--skip-sim` prints only the OCS
+//! technology table.
 
 use opus::{baseline_of, OpusConfig, OpusSimulator};
-use railsim_bench::{scale_run_config, scaled_cluster, scaled_dag, Report};
+use railsim_bench::{mem, scale_run_config, scaled_cluster, scaled_dag, Report};
 use railsim_cost::ocs_tech::{ocs_technologies, scaleup};
 use serde::Serialize;
 use std::time::Instant;
@@ -25,6 +31,7 @@ struct ScaleRun {
     num_gpus: u32,
     num_rails: u32,
     event_shards: usize,
+    parallel_threads: u32,
     policy: &'static str,
     dag_tasks: usize,
     iterations: u32,
@@ -32,11 +39,16 @@ struct ScaleRun {
     total_reconfigs: usize,
     wall_clock_s: f64,
     events_per_sec: f64,
+    /// Peak resident set over DAG build + both policy runs of this GPU count, in MiB
+    /// (kernel `VmHWM`, reset per scale point where the platform allows; `None` when
+    /// procfs is unavailable).
+    peak_rss_mib: Option<f64>,
 }
 
-fn parse_args() -> (Vec<u32>, u32, bool) {
+fn parse_args() -> (Vec<u32>, u32, u32, bool) {
     let mut gpus = vec![1024u32];
     let mut iterations = 2u32;
+    let mut parallel_threads = 1u32;
     let mut skip_sim = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,11 +67,19 @@ fn parse_args() -> (Vec<u32>, u32, bool) {
                     .parse()
                     .expect("--iterations must be an integer");
             }
+            "--parallel-threads" => {
+                parallel_threads = args
+                    .next()
+                    .expect("--parallel-threads needs a value")
+                    .parse()
+                    .expect("--parallel-threads must be an integer");
+                assert!(parallel_threads > 0, "--parallel-threads must be positive");
+            }
             "--skip-sim" => skip_sim = true,
             other => panic!("unknown argument {other}; see the crate docs"),
         }
     }
-    (gpus, iterations, skip_sim)
+    (gpus, iterations, parallel_threads, skip_sim)
 }
 
 fn tech_table() {
@@ -91,7 +111,10 @@ fn tech_table() {
     Report::write_json("table3_scalability", &techs);
 }
 
-fn run_scale_point(num_gpus: u32, iterations: u32) -> Vec<ScaleRun> {
+fn run_scale_point(num_gpus: u32, iterations: u32, parallel_threads: u32) -> Vec<ScaleRun> {
+    // Reset the kernel's peak-RSS watermark so this point's reading covers only its
+    // own DAG + simulator state (best-effort; cumulative where unsupported).
+    mem::reset_peak_rss();
     let cluster = scaled_cluster(num_gpus);
     let build_start = Instant::now();
     let dag = scaled_dag(num_gpus);
@@ -101,7 +124,10 @@ fn run_scale_point(num_gpus: u32, iterations: u32) -> Vec<ScaleRun> {
         build_start.elapsed().as_secs_f64()
     );
 
-    let provisioned = scale_run_config(iterations);
+    let mut provisioned = scale_run_config(iterations);
+    if parallel_threads > 1 {
+        provisioned = provisioned.with_parallel_threads(parallel_threads);
+    }
     let configs: [(&'static str, OpusConfig); 2] = [
         ("electrical", baseline_of(&provisioned)),
         ("optical provisioned 25ms", provisioned),
@@ -127,6 +153,7 @@ fn run_scale_point(num_gpus: u32, iterations: u32) -> Vec<ScaleRun> {
             num_gpus,
             num_rails: cluster.num_rails(),
             event_shards: sim.num_event_shards(),
+            parallel_threads,
             policy,
             dag_tasks,
             iterations,
@@ -134,14 +161,22 @@ fn run_scale_point(num_gpus: u32, iterations: u32) -> Vec<ScaleRun> {
             total_reconfigs: result.total_reconfigs(),
             wall_clock_s,
             events_per_sec: events / wall_clock_s.max(1e-9),
+            peak_rss_mib: None, // filled in once the whole point has run
         });
         eprintln!("[{num_gpus} GPUs] {policy}: {wall_clock_s:.2}s wall clock");
+    }
+    let peak = mem::peak_rss_mib();
+    if let Some(mib) = peak {
+        eprintln!("[{num_gpus} GPUs] peak RSS {mib:.0} MiB");
+    }
+    for run in &mut runs {
+        run.peak_rss_mib = peak;
     }
     runs
 }
 
 fn main() {
-    let (gpus, iterations, skip_sim) = parse_args();
+    let (gpus, iterations, parallel_threads, skip_sim) = parse_args();
     tech_table();
     if skip_sim {
         return;
@@ -154,30 +189,38 @@ fn main() {
             "Policy",
             "DAG tasks",
             "Shards",
+            "Threads",
             "Iter time (s)",
             "Reconfigs",
             "Wall clock (s)",
             "Events/s",
+            "Peak RSS (MiB)",
         ],
     );
     let mut all_runs = Vec::new();
     for &n in &gpus {
-        for run in run_scale_point(n, iterations) {
+        for run in run_scale_point(n, iterations, parallel_threads) {
             report.row(&[
                 run.num_gpus.to_string(),
                 run.policy.to_string(),
                 run.dag_tasks.to_string(),
                 run.event_shards.to_string(),
+                run.parallel_threads.to_string(),
                 format!("{:.3}", run.steady_iteration_time_s),
                 run.total_reconfigs.to_string(),
                 format!("{:.2}", run.wall_clock_s),
                 format!("{:.0}", run.events_per_sec),
+                run.peak_rss_mib
+                    .map_or_else(|| "n/a".to_string(), |m| format!("{m:.0}")),
             ]);
             all_runs.push(run);
         }
     }
     report.note("DGX H200 nodes, TP=8 / PP=8 / FSDP over the rest, 8 micro-batches, 1F1B");
-    report.note("full paper regime: --gpus 1024,4096,10240 (see EXPERIMENTS.md)");
+    report.note("full paper regime: --gpus 1024,4096,10240; 100k ceiling: --gpus 102400 (see EXPERIMENTS.md)");
+    report.note(
+        "peak RSS covers DAG build + both policies of the GPU count (VmHWM, reset per point)",
+    );
     println!();
     report.print();
     Report::write_json("table3_scale", &all_runs);

@@ -54,7 +54,17 @@ pub fn fig8_latencies_ms() -> Vec<f64> {
 
 /// The GPU counts of the datacenter-scale Table 3 / Fig. 7 runs.
 pub fn scale_gpu_counts() -> Vec<u32> {
-    vec![1024, 4096, 10240]
+    vec![1024, 4096, 10240, SCALE_100K_GPUS]
+}
+
+/// The 100k-GPU ceiling: 12800 DGX H200 nodes (TP=8 × PP=8 × FSDP=1600). The
+/// interned-DAG + dense-controller memory budget and the parallel-stepping
+/// methodology for this point are documented in EXPERIMENTS.md.
+pub const SCALE_100K_GPUS: u32 = 102_400;
+
+/// The 100k-GPU cluster preset (see [`SCALE_100K_GPUS`]).
+pub fn scaled_cluster_100k() -> Cluster {
+    scaled_cluster(SCALE_100K_GPUS)
 }
 
 /// A datacenter-scale cluster of DGX H200 nodes (8 GPUs, 8 rails, ConnectX-7 400 G).
@@ -155,12 +165,24 @@ mod tests {
     #[test]
     fn scale_gpu_counts_cover_the_table3_regime() {
         let counts = scale_gpu_counts();
-        assert_eq!(counts, vec![1024, 4096, 10240]);
+        assert_eq!(counts, vec![1024, 4096, 10240, 102400]);
         for n in counts {
             // Every advertised size must be constructible.
             let p = scaled_parallelism(n);
             assert!(p.validate(n).is_ok());
         }
+    }
+
+    #[test]
+    fn the_100k_preset_is_well_formed() {
+        // Validate the configuration without building the ~9M-task DAG (that runs in
+        // release mode via `table3_scalability --gpus 102400`; see EXPERIMENTS.md).
+        let cluster = scaled_cluster_100k();
+        assert_eq!(cluster.num_gpus(), SCALE_100K_GPUS);
+        assert_eq!(cluster.num_rails(), 8);
+        let p = scaled_parallelism(SCALE_100K_GPUS);
+        assert_eq!(p.data, 1600);
+        assert!(p.validate(SCALE_100K_GPUS).is_ok());
     }
 
     #[test]

@@ -101,6 +101,13 @@ pub struct OpusConfig {
     /// — the engine's cross-shard merge reproduces the single-queue total order
     /// exactly — only its memory locality.
     pub event_shards: Option<u32>,
+    /// Number of worker threads for parallel event stepping. `None` or `Some(1)` (the
+    /// default) steps sequentially. With more threads the simulator drains each head
+    /// time-slice from every event lane, evaluates the pure per-event work (α–β
+    /// cost-model durations) on `std::thread::scope` workers, and commits stateful
+    /// effects in global `(time, seq)` order — so, like `event_shards`, the thread
+    /// count never changes simulation results, only wall-clock time.
+    pub parallel_threads: Option<u32>,
 }
 
 impl OpusConfig {
@@ -141,6 +148,7 @@ impl OpusConfig {
             seed: 7,
             host_offload: None,
             event_shards: None,
+            parallel_threads: None,
         }
     }
 
@@ -168,6 +176,13 @@ impl OpusConfig {
     pub fn with_event_shards(mut self, shards: u32) -> Self {
         assert!(shards > 0, "the engine needs at least one event shard");
         self.event_shards = Some(shards);
+        self
+    }
+
+    /// Overrides the parallel-stepping thread count (default: sequential).
+    pub fn with_parallel_threads(mut self, threads: u32) -> Self {
+        assert!(threads > 0, "parallel stepping needs at least one thread");
+        self.parallel_threads = Some(threads);
         self
     }
 

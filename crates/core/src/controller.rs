@@ -16,34 +16,45 @@ use crate::circuits::GroupCircuits;
 use crate::metrics::ReconfigEvent;
 use railsim_collectives::GroupId;
 use railsim_sim::SimTime;
-use railsim_topology::{OpticalRailFabric, PortId, RailId};
-use std::collections::HashMap;
+use railsim_topology::{OpticalRailFabric, RailId};
 
 /// The Opus controller: rail OCSes plus occupancy tracking and the reconfiguration log.
+///
+/// All per-port and per-rail bookkeeping is *dense* — flat `Vec`s pre-sized from the
+/// fabric's geometry and indexed by [`PortId::dense_index`](railsim_topology::PortId::dense_index)
+/// / rail index. The occupancy map is touched on every scale-out communication event
+/// (the profiled hot path of the 10k-GPU runs), so it must not hash.
 #[derive(Debug, Clone)]
 pub struct OpusController {
     fabric: OpticalRailFabric,
-    /// Until when each port is carrying traffic (conflict avoidance).
-    port_busy: HashMap<PortId, SimTime>,
+    /// Until when each port is carrying traffic (conflict avoidance), indexed by the
+    /// port's dense index. `SimTime::ZERO` means "never been busy".
+    port_busy: Vec<SimTime>,
+    ports_per_gpu: u8,
     events: Vec<ReconfigEvent>,
     requests: u64,
     noop_requests: u64,
-    /// Reconfigurations per rail over the controller's whole lifetime. Unlike the
-    /// event log this is never drained, so per-lane load stays observable at 10k-GPU
-    /// scale without retaining hundreds of thousands of events.
-    lifetime_by_rail: HashMap<RailId, u64>,
+    /// Reconfigurations per rail over the controller's whole lifetime, indexed by
+    /// rail. Unlike the event log this is never drained, so per-lane load stays
+    /// observable at 10k-GPU scale without retaining hundreds of thousands of events.
+    lifetime_by_rail: Vec<u64>,
 }
 
 impl OpusController {
-    /// Creates a controller owning the given photonic fabric.
+    /// Creates a controller owning the given photonic fabric. Dense occupancy and
+    /// per-rail counters are pre-sized from the fabric's cluster geometry.
     pub fn new(fabric: OpticalRailFabric) -> Self {
+        let dense_ports = fabric.dense_port_count();
+        let num_rails = fabric.num_rails();
+        let ports_per_gpu = fabric.ports_per_gpu();
         OpusController {
             fabric,
-            port_busy: HashMap::new(),
+            port_busy: vec![SimTime::ZERO; dense_ports],
+            ports_per_gpu,
             events: Vec::new(),
             requests: 0,
             noop_requests: 0,
-            lifetime_by_rail: HashMap::new(),
+            lifetime_by_rail: vec![0; num_rails],
         }
     }
 
@@ -78,9 +89,7 @@ impl OpusController {
         let mut free = SimTime::ZERO;
         for config in circuits.per_rail.values() {
             for port in config.ports() {
-                if let Some(&busy_until) = self.port_busy.get(&port) {
-                    free = free.max(busy_until);
-                }
+                free = free.max(self.port_busy[port.dense_index(self.ports_per_gpu)]);
             }
         }
         free
@@ -125,9 +134,7 @@ impl OpusController {
                 // Conflict avoidance: wait for ongoing traffic on the affected ports.
                 let mut free = requested_at;
                 for port in config.ports() {
-                    if let Some(&busy_until) = self.port_busy.get(&port) {
-                        free = free.max(busy_until);
-                    }
+                    free = free.max(self.port_busy[port.dense_index(self.ports_per_gpu)]);
                 }
                 free
             };
@@ -144,7 +151,7 @@ impl OpusController {
                     ready_at: rail_ready,
                     circuits_installed: config.len(),
                 });
-                *self.lifetime_by_rail.entry(*rail).or_insert(0) += 1;
+                self.lifetime_by_rail[rail.index()] += 1;
             }
             ready = ready.max(rail_ready);
         }
@@ -156,8 +163,8 @@ impl OpusController {
     pub fn occupy(&mut self, circuits: &GroupCircuits, until: SimTime) {
         for config in circuits.per_rail.values() {
             for port in config.ports() {
-                let entry = self.port_busy.entry(port).or_insert(SimTime::ZERO);
-                *entry = (*entry).max(until);
+                let slot = &mut self.port_busy[port.dense_index(self.ports_per_gpu)];
+                *slot = (*slot).max(until);
             }
         }
     }
@@ -175,12 +182,15 @@ impl OpusController {
     /// Total reconfigurations ever performed, across [`OpusController::take_events`]
     /// drains.
     pub fn lifetime_reconfigs(&self) -> u64 {
-        self.lifetime_by_rail.values().sum()
+        self.lifetime_by_rail.iter().sum()
     }
 
     /// Lifetime reconfigurations on one rail (never reset by draining the log).
     pub fn lifetime_reconfigs_on_rail(&self, rail: RailId) -> u64 {
-        self.lifetime_by_rail.get(&rail).copied().unwrap_or(0)
+        self.lifetime_by_rail
+            .get(rail.index())
+            .copied()
+            .unwrap_or(0)
     }
 }
 

@@ -10,7 +10,6 @@
 use crate::circuits::{CircuitPlanner, GroupCircuits};
 use railsim_collectives::{CommGroup, GroupId, ParallelismAxis};
 use railsim_topology::{Cluster, GpuId, RailId};
-use std::collections::BTreeMap;
 
 /// One entry of the group table.
 #[derive(Debug, Clone)]
@@ -22,26 +21,31 @@ pub struct GroupEntry {
 }
 
 /// The Opus controller's communication-group and circuit lookup tables.
+///
+/// Entries live in one id-sorted `Vec` (dense *slots*) rather than a tree: lookups
+/// are a binary search over a contiguous array, iteration order is still ascending
+/// group id (matching the `BTreeMap` layout this replaced), and a slot index is a
+/// stable dense handle the simulator can use to share one `GroupCircuits` per group
+/// across every task that needs it.
 #[derive(Debug, Clone, Default)]
 pub struct GroupTable {
-    entries: BTreeMap<GroupId, GroupEntry>,
+    /// Entries sorted by `group.id`; position == slot.
+    entries: Vec<GroupEntry>,
 }
 
 impl GroupTable {
     /// Builds the table for a set of groups on a concrete cluster.
     pub fn build<'a>(cluster: &Cluster, groups: impl IntoIterator<Item = &'a CommGroup>) -> Self {
         let planner = CircuitPlanner::for_cluster(cluster);
-        let mut entries = BTreeMap::new();
-        for group in groups {
-            let circuits = planner.plan(cluster, group);
-            entries.insert(
-                group.id,
-                GroupEntry {
-                    group: group.clone(),
-                    circuits,
-                },
-            );
-        }
+        let mut entries: Vec<GroupEntry> = groups
+            .into_iter()
+            .map(|group| GroupEntry {
+                group: group.clone(),
+                circuits: planner.plan(cluster, group),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.group.id);
+        entries.dedup_by_key(|e| e.group.id);
         GroupTable { entries }
     }
 
@@ -55,22 +59,35 @@ impl GroupTable {
         self.entries.is_empty()
     }
 
+    /// The dense slot of a group (its position in id order), if registered.
+    pub fn slot_of(&self, id: GroupId) -> Option<usize> {
+        self.entries.binary_search_by_key(&id, |e| e.group.id).ok()
+    }
+
+    /// The entry at a dense slot.
+    ///
+    /// # Panics
+    /// Panics if `slot >= len()`.
+    pub fn entry_at(&self, slot: usize) -> &GroupEntry {
+        &self.entries[slot]
+    }
+
     /// Looks up a group's entry.
     pub fn entry(&self, id: GroupId) -> Option<&GroupEntry> {
-        self.entries.get(&id)
+        self.slot_of(id).map(|slot| &self.entries[slot])
     }
 
     /// The cached circuits of a group.
     pub fn circuits(&self, id: GroupId) -> Option<&GroupCircuits> {
-        self.entries.get(&id).map(|e| &e.circuits)
+        self.entry(id).map(|e| &e.circuits)
     }
 
     /// All groups whose circuits touch `rail`.
     pub fn groups_on_rail(&self, rail: RailId) -> Vec<GroupId> {
         self.entries
             .iter()
-            .filter(|(_, e)| e.circuits.per_rail.contains_key(&rail))
-            .map(|(id, _)| *id)
+            .filter(|e| e.circuits.per_rail.contains_key(&rail))
+            .map(|e| e.group.id)
             .collect()
     }
 
@@ -78,14 +95,14 @@ impl GroupTable {
     pub fn groups_of_gpu(&self, gpu: GpuId) -> Vec<(GroupId, ParallelismAxis)> {
         self.entries
             .iter()
-            .filter(|(_, e)| e.group.contains(gpu))
-            .map(|(id, e)| (*id, e.group.axis))
+            .filter(|e| e.group.contains(gpu))
+            .map(|e| (e.group.id, e.group.axis))
             .collect()
     }
 
-    /// Iterates over all entries.
+    /// Iterates over all entries in ascending group-id order.
     pub fn iter(&self) -> impl Iterator<Item = (&GroupId, &GroupEntry)> {
-        self.entries.iter()
+        self.entries.iter().map(|e| (&e.group.id, e))
     }
 }
 

@@ -3,7 +3,7 @@
 use railsim_collectives::{CollectiveKind, GroupId, ParallelismAxis};
 use railsim_sim::{Bytes, SimDuration, SimTime};
 use railsim_topology::RailId;
-use railsim_workload::TaskId;
+use railsim_workload::{LabelId, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// One communication operation as it actually executed in the simulation.
@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 pub struct CommRecord {
     /// The DAG task this record corresponds to.
     pub task: TaskId,
-    /// Human-readable label copied from the task.
-    pub label: String,
+    /// The task's interned label handle (copying it is free; it serializes as the
+    /// resolved string, exactly like the owned `String` it replaced).
+    pub label: LabelId,
     /// The parallelism axis that issued the communication.
     pub axis: ParallelismAxis,
     /// The collective kind (Send/Recv for point-to-point).
@@ -40,6 +41,11 @@ impl CommRecord {
     /// Transfer duration excluding the circuit wait.
     pub fn transfer_time(&self) -> SimDuration {
         self.end.duration_since(self.start)
+    }
+
+    /// The label, resolved from the symbol table.
+    pub fn label_str(&self) -> &'static str {
+        self.label.as_str()
     }
 }
 
@@ -148,7 +154,7 @@ mod tests {
     fn record(start_ms: u64, end_ms: u64, wait_ms: u64) -> CommRecord {
         CommRecord {
             task: TaskId(0),
-            label: "test".into(),
+            label: LabelId::intern("test"),
             axis: ParallelismAxis::Data,
             kind: CollectiveKind::AllGather,
             group: Some(GroupId(0)),

@@ -34,7 +34,7 @@ use railsim_collectives::{
 };
 use railsim_sim::{ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
 use railsim_topology::{Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity};
-use railsim_workload::{TaskId, TaskKind, TrainingDag};
+use railsim_workload::{LabelId, RankSet, TaskId, TaskKind, TrainingDag};
 use std::collections::HashMap;
 
 /// Events of the DAG-execution discrete-event simulation.
@@ -52,21 +52,48 @@ enum Backend {
     Optical(Box<OpusController>),
 }
 
+/// One deduplicated circuit-demand entry: every task of a communication group shares
+/// this slot instead of owning a `GroupCircuits` clone (at 100k GPUs the per-task
+/// clones — a `BTreeMap` of circuit vectors each — dominated the simulator footprint).
+struct CircuitSlot {
+    group: GroupId,
+    /// Member count of the group (collective cost-model input).
+    group_size: u32,
+    circuits: GroupCircuits,
+}
+
+/// Sentinel slot index for tasks without circuit demand (compute tasks).
+const NO_SLOT: u32 = u32::MAX;
+
 /// The end-to-end simulator.
 pub struct OpusSimulator {
     cluster: Cluster,
     dag: TrainingDag,
     config: OpusConfig,
     group_table: GroupTable,
-    /// Circuit demand per communication task (collectives and point-to-point).
-    task_circuits: HashMap<TaskId, (GroupId, GroupCircuits)>,
-    dependents: Vec<Vec<u32>>,
+    /// Deduplicated circuit demands; see [`CircuitSlot`].
+    circuit_pool: Vec<CircuitSlot>,
+    /// Per-task index into `circuit_pool` (`NO_SLOT` for compute tasks).
+    task_circuit_slot: Vec<u32>,
+    /// Reverse dependency edges in CSR layout: the dependents of task `i` are
+    /// `dependents[dependents_off[i]..dependents_off[i + 1]]`. One flat allocation
+    /// instead of a million per-task `Vec`s.
+    dependents_off: Vec<u32>,
+    dependents: Vec<u32>,
     /// Event-engine lane per task, derived from the task's rail affinity.
     task_shard: Vec<ShardId>,
     num_shards: usize,
     backend: Backend,
     shim: OpusShim,
     rng: SimRng,
+}
+
+/// Mutable per-iteration execution state, threaded through the event handlers.
+struct IterState {
+    remaining: Vec<usize>,
+    finish: Vec<SimTime>,
+    comm_records: Vec<CommRecord>,
+    total_circuit_wait: SimDuration,
 }
 
 impl OpusSimulator {
@@ -79,7 +106,7 @@ impl OpusSimulator {
         let max_rank = dag
             .tasks
             .iter()
-            .flat_map(|t| t.participants.iter())
+            .flat_map(|t| t.ranks().iter())
             .map(|g| g.0)
             .max()
             .unwrap_or(0);
@@ -91,13 +118,20 @@ impl OpusSimulator {
 
         let group_table = GroupTable::build(&cluster, dag.groups.values());
         let planner = CircuitPlanner::for_cluster(&cluster);
-        let task_circuits = Self::plan_task_circuits(&cluster, &dag, &group_table, &planner);
-        let dependents = Self::build_dependents(&dag);
+        let (circuit_pool, task_circuit_slot) =
+            Self::plan_task_circuits(&cluster, &dag, &group_table, &planner);
+        let (dependents_off, dependents) = Self::build_dependents(&dag);
         let num_shards = config
             .event_shards
             .unwrap_or_else(|| cluster.num_rails())
             .max(1) as usize;
-        let task_shard = Self::assign_task_shards(&cluster, &dag, &task_circuits, num_shards);
+        let task_shard = Self::assign_task_shards(
+            &cluster,
+            &dag,
+            &circuit_pool,
+            &task_circuit_slot,
+            num_shards,
+        );
 
         let backend = if config.policy.is_optical() {
             let fabric = OpticalRailFabric::for_cluster(&cluster, config.reconfig_latency);
@@ -112,7 +146,9 @@ impl OpusSimulator {
             dag,
             config,
             group_table,
-            task_circuits,
+            circuit_pool,
+            task_circuit_slot,
+            dependents_off,
             dependents,
             task_shard,
             num_shards,
@@ -135,16 +171,25 @@ impl OpusSimulator {
     fn assign_task_shards(
         cluster: &Cluster,
         dag: &TrainingDag,
-        task_circuits: &HashMap<TaskId, (GroupId, GroupCircuits)>,
+        circuit_pool: &[CircuitSlot],
+        task_circuit_slot: &[u32],
         num_shards: usize,
     ) -> Vec<ShardId> {
         dag.tasks
             .iter()
             .map(|task| {
-                let rail = task_circuits
-                    .get(&task.id)
-                    .and_then(|(_, circuits)| circuits.per_rail.keys().next().copied())
-                    .unwrap_or_else(|| cluster.rail_of(task.participants[0]));
+                let slot = task_circuit_slot[task.id.0 as usize];
+                let rail = (slot != NO_SLOT)
+                    .then(|| {
+                        circuit_pool[slot as usize]
+                            .circuits
+                            .per_rail
+                            .keys()
+                            .next()
+                            .copied()
+                    })
+                    .flatten()
+                    .unwrap_or_else(|| cluster.rail_of(task.participants.first()));
                 ShardId(rail.0 % num_shards as u32)
             })
             .collect()
@@ -168,22 +213,40 @@ impl OpusSimulator {
         }
     }
 
-    fn build_dependents(dag: &TrainingDag) -> Vec<Vec<u32>> {
-        let mut dependents = vec![Vec::new(); dag.tasks.len()];
+    /// Builds the reverse dependency edges in CSR layout (`(offsets, edges)`).
+    fn build_dependents(dag: &TrainingDag) -> (Vec<u32>, Vec<u32>) {
+        let n = dag.tasks.len();
+        let mut counts = vec![0u32; n + 1];
         for task in &dag.tasks {
             for dep in &task.deps {
-                dependents[dep.0 as usize].push(task.id.0);
+                counts[dep.0 as usize + 1] += 1;
             }
         }
-        dependents
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u32; offsets[n] as usize];
+        for task in &dag.tasks {
+            for dep in &task.deps {
+                let c = &mut cursor[dep.0 as usize];
+                edges[*c as usize] = task.id.0;
+                *c += 1;
+            }
+        }
+        (offsets, edges)
     }
 
+    /// Plans the circuit demand of every communication task, deduplicated into one
+    /// [`CircuitSlot`] per communication group (plus one per ad-hoc point-to-point
+    /// pair that belongs to no group). Returns the pool and the per-task slot index.
     fn plan_task_circuits(
         cluster: &Cluster,
         dag: &TrainingDag,
         table: &GroupTable,
         planner: &CircuitPlanner,
-    ) -> HashMap<TaskId, (GroupId, GroupCircuits)> {
+    ) -> (Vec<CircuitSlot>, Vec<u32>) {
         // Groups partition the ranks of each axis, so `(axis, rank) -> group` is a
         // function; index it once instead of scanning every group per point-to-point
         // task (the scan was quadratic at the 10k-GPU scale: #p2p tasks x #groups).
@@ -193,16 +256,27 @@ impl OpusSimulator {
                 member_group.insert((g.axis, *rank), g.id);
             }
         }
-        let mut out = HashMap::new();
+        let mut pool: Vec<CircuitSlot> = Vec::new();
+        let mut slot_of_group: HashMap<GroupId, u32> = HashMap::new();
+        let mut task_slot = vec![NO_SLOT; dag.tasks.len()];
+        let mut group_slot = |pool: &mut Vec<CircuitSlot>, id: GroupId| -> u32 {
+            *slot_of_group.entry(id).or_insert_with(|| {
+                let circuits = table
+                    .circuits(id)
+                    .expect("communication group must be registered")
+                    .clone();
+                let slot = pool.len() as u32;
+                pool.push(CircuitSlot {
+                    group: id,
+                    group_size: dag.groups[&id].size() as u32,
+                    circuits,
+                });
+                slot
+            })
+        };
         for task in dag.communication_tasks() {
-            match &task.kind {
-                TaskKind::Collective { group, .. } => {
-                    let circuits = table
-                        .circuits(*group)
-                        .expect("collective group must be registered")
-                        .clone();
-                    out.insert(task.id, (*group, circuits));
-                }
+            let slot = match &task.kind {
+                TaskKind::Collective { group, .. } => group_slot(&mut pool, *group),
                 TaskKind::PointToPoint { src, dst, axis, .. } => {
                     // A point-to-point transfer uses the circuits of the communication
                     // group it belongs to (circuit allocation is per group, §5): find
@@ -210,31 +284,30 @@ impl OpusSimulator {
                     // back to planning an ad-hoc pair.
                     let group = member_group
                         .get(&(*axis, *src))
-                        .filter(|id| member_group.get(&(*axis, *dst)) == Some(id))
-                        .map(|id| &dag.groups[id]);
+                        .filter(|id| member_group.get(&(*axis, *dst)) == Some(id));
                     match group {
-                        Some(g) => {
-                            let circuits = table
-                                .circuits(g.id)
-                                .expect("p2p group must be registered")
-                                .clone();
-                            out.insert(task.id, (g.id, circuits));
-                        }
+                        Some(&id) => group_slot(&mut pool, id),
                         None => {
                             let pseudo = CommGroup::new(
                                 GroupId(u32::MAX - task.id.0),
                                 *axis,
                                 vec![*src, *dst],
                             );
-                            let circuits = planner.plan(cluster, &pseudo);
-                            out.insert(task.id, (pseudo.id, circuits));
+                            let slot = pool.len() as u32;
+                            pool.push(CircuitSlot {
+                                group: pseudo.id,
+                                group_size: 2,
+                                circuits: planner.plan(cluster, &pseudo),
+                            });
+                            slot
                         }
                     }
                 }
-                TaskKind::Compute { .. } => {}
-            }
+                TaskKind::Compute { .. } => unreachable!("communication_tasks filters compute"),
+            };
+            task_slot[task.id.0 as usize] = slot;
         }
-        out
+        (pool, task_slot)
     }
 
     /// Runs the configured number of iterations and returns all results.
@@ -252,25 +325,14 @@ impl OpusSimulator {
         SimulationResult { iterations }
     }
 
-    fn scaleout_params(&self) -> CostParams {
-        // The paper's Fig. 8 assumes equal bandwidth on electrical and optical rails,
-        // so both policies see the full NIC bandwidth once connectivity exists.
-        CostParams::new(
-            self.config.scaleout_alpha,
-            self.cluster.spec().nic.total_bandwidth,
-        )
-    }
-
-    fn scaleup_params(&self) -> CostParams {
-        CostParams::new(self.config.scaleup_alpha, self.cluster.scaleup_bandwidth())
-    }
-
     fn run_iteration(&mut self, iteration: u32, start: SimTime) -> (IterationResult, SimTime) {
         let n = self.dag.tasks.len();
-        let mut remaining: Vec<usize> = self.dag.tasks.iter().map(|t| t.deps.len()).collect();
-        let mut finish: Vec<SimTime> = vec![SimTime::ZERO; n];
-        let mut comm_records: Vec<CommRecord> = Vec::new();
-        let mut total_circuit_wait = SimDuration::ZERO;
+        let mut st = IterState {
+            remaining: self.dag.tasks.iter().map(|t| t.deps.len()).collect(),
+            finish: vec![SimTime::ZERO; n],
+            comm_records: Vec::new(),
+            total_circuit_wait: SimDuration::ZERO,
+        };
 
         // One event lane per rail (folded modulo the shard count): each task's Ready
         // and Done events run on the lane of the rail its traffic touches, so the
@@ -284,35 +346,34 @@ impl OpusSimulator {
             }
         }
 
-        // The handler closure cannot borrow `self` mutably while the engine is
-        // borrowed, so the loop is driven manually.
-        while let Some((now, event)) = engine.pop() {
-            match event {
-                SimEvent::Ready(id) => {
-                    let (end, record) = self.execute_task(id, now, iteration);
-                    finish[id.0 as usize] = end;
-                    if let Some(rec) = record {
-                        total_circuit_wait = total_circuit_wait.saturating_add(rec.circuit_wait);
-                        comm_records.push(rec);
-                    }
-                    engine.schedule_at(self.task_shard[id.0 as usize], end, SimEvent::Done(id));
+        let threads = self.config.parallel_threads.unwrap_or(1).max(1) as usize;
+        if threads > 1 {
+            // Parallel stepping: drain the head time-slice from every lane, evaluate
+            // the pure per-event work (the α–β cost-model durations) on scoped worker
+            // threads, then commit the stateful part — controller requests, RNG draws,
+            // record emission — sequentially in global `(time, seq)` order. The commit
+            // order equals the single-queue pop order, so results are byte-identical
+            // to the sequential path for any thread count.
+            loop {
+                let batch = {
+                    let sim = &*self;
+                    engine.pop_batch_parallel(threads, |_, _, ev| sim.prep_event(*ev))
+                };
+                let Some(batch) = batch else { break };
+                for (now, _, event, planned) in batch {
+                    self.commit_event(&mut engine, &mut st, now, event, planned, iteration);
                 }
-                SimEvent::Done(id) => {
-                    for &dep_idx in &self.dependents[id.0 as usize] {
-                        let slot = &mut remaining[dep_idx as usize];
-                        debug_assert!(*slot > 0, "dependency counter underflow");
-                        *slot -= 1;
-                        if *slot == 0 {
-                            let shard = self.task_shard[dep_idx as usize];
-                            engine.schedule_at(shard, now, SimEvent::Ready(TaskId(dep_idx)));
-                        }
-                    }
-                }
+            }
+        } else {
+            // The handler closure cannot borrow `self` mutably while the engine is
+            // borrowed, so the loop is driven manually.
+            while let Some((now, event)) = engine.pop() {
+                self.commit_event(&mut engine, &mut st, now, event, None, iteration);
             }
         }
 
         debug_assert!(
-            remaining.iter().all(|&r| r == 0),
+            st.remaining.iter().all(|&r| r == 0),
             "every task must have executed"
         );
         assert_eq!(
@@ -321,7 +382,8 @@ impl OpusSimulator {
             "the DAG executor never schedules into the past; a clamp means the \
              sharded merge delivered an event out of order"
         );
-        let end = finish.iter().copied().max().unwrap_or(start).max(start);
+        let end = st.finish.iter().copied().max().unwrap_or(start).max(start);
+        let mut comm_records = st.comm_records;
         comm_records.sort_by_key(|r| (r.issued_at, r.task));
         let reconfig_events = match &mut self.backend {
             Backend::Optical(c) => c.take_events(),
@@ -333,23 +395,127 @@ impl OpusSimulator {
             started_at: start,
             comm_records,
             reconfig_events,
-            total_circuit_wait,
+            total_circuit_wait: st.total_circuit_wait,
         };
         (result, end)
     }
 
+    /// Applies one popped event: executes the task (Ready) or releases its dependents
+    /// (Done), scheduling follow-up events on the engine. `planned` carries the
+    /// pre-computed pure work from the parallel stepping path, if any.
+    fn commit_event(
+        &mut self,
+        engine: &mut ShardedEngine<SimEvent>,
+        st: &mut IterState,
+        now: SimTime,
+        event: SimEvent,
+        planned: Option<SimDuration>,
+        iteration: u32,
+    ) {
+        match event {
+            SimEvent::Ready(id) => {
+                let (end, record) = self.execute_task(id, now, iteration, planned);
+                st.finish[id.0 as usize] = end;
+                if let Some(rec) = record {
+                    st.total_circuit_wait = st.total_circuit_wait.saturating_add(rec.circuit_wait);
+                    st.comm_records.push(rec);
+                }
+                engine.schedule_at(self.task_shard[id.0 as usize], end, SimEvent::Done(id));
+            }
+            SimEvent::Done(id) => {
+                let lo = self.dependents_off[id.0 as usize] as usize;
+                let hi = self.dependents_off[id.0 as usize + 1] as usize;
+                for i in lo..hi {
+                    let dep_idx = self.dependents[i];
+                    let slot = &mut st.remaining[dep_idx as usize];
+                    debug_assert!(*slot > 0, "dependency counter underflow");
+                    *slot -= 1;
+                    if *slot == 0 {
+                        let shard = self.task_shard[dep_idx as usize];
+                        engine.schedule_at(shard, now, SimEvent::Ready(TaskId(dep_idx)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pure (state-independent) part of handling an event, safe to evaluate on a
+    /// worker thread before its commit turn: the cost-model duration of a
+    /// communication task. Compute jitter and controller interaction are *not* pure —
+    /// they run at commit time, in global event order.
+    fn prep_event(&self, event: SimEvent) -> Option<SimDuration> {
+        match event {
+            SimEvent::Ready(id) => self.plan_comm_duration(id),
+            SimEvent::Done(_) => None,
+        }
+    }
+
+    /// The α–β transfer duration of a communication task (None for compute tasks).
+    /// Depends only on immutable per-task data, so it can be computed concurrently.
+    fn plan_comm_duration(&self, id: TaskId) -> Option<SimDuration> {
+        let task = &self.dag.tasks[id.0 as usize];
+        if matches!(task.kind, TaskKind::Compute { .. }) {
+            return None;
+        }
+        let slot = &self.circuit_pool[self.task_circuit_slot[id.0 as usize] as usize];
+        let (kind, bytes, group_size) = match task.kind {
+            TaskKind::Compute { .. } => unreachable!("filtered above"),
+            TaskKind::Collective { kind, bytes, .. } => (kind, bytes, slot.group_size as usize),
+            TaskKind::PointToPoint { bytes, .. } => (CollectiveKind::SendRecv, bytes, 2),
+        };
+        let scaleout = !slot.circuits.is_scaleup_only();
+        let offloaded = scaleout
+            && self
+                .config
+                .host_offload
+                .is_some_and(|h| bytes <= h.threshold);
+        let params = Self::comm_params(&self.config, &self.cluster, scaleout, offloaded);
+        Some(collective_time(
+            kind,
+            self.config.scaleout_algorithm,
+            group_size,
+            bytes,
+            &params,
+        ))
+    }
+
+    /// The α–β cost parameters of a transfer class.
+    fn comm_params(
+        config: &OpusConfig,
+        cluster: &Cluster,
+        scaleout: bool,
+        offloaded: bool,
+    ) -> CostParams {
+        if offloaded {
+            let h = config.host_offload.expect("offloaded implies configured");
+            CostParams::new(h.alpha, h.bandwidth)
+        } else if scaleout {
+            // The paper's Fig. 8 assumes equal bandwidth on electrical and optical
+            // rails, so both policies see the full NIC bandwidth once connectivity
+            // exists.
+            CostParams::new(config.scaleout_alpha, cluster.spec().nic.total_bandwidth)
+        } else {
+            CostParams::new(config.scaleup_alpha, cluster.scaleup_bandwidth())
+        }
+    }
+
     /// Executes one task that became ready at `now`; returns its end time and, for
-    /// communication tasks, the record describing what happened.
+    /// communication tasks, the record describing what happened. `planned` is the
+    /// pre-computed transfer duration from [`OpusSimulator::plan_comm_duration`], if
+    /// the parallel stepping path already evaluated it.
     fn execute_task(
         &mut self,
         id: TaskId,
         now: SimTime,
         iteration: u32,
+        planned: Option<SimDuration>,
     ) -> (SimTime, Option<CommRecord>) {
         let task = &self.dag.tasks[id.0 as usize];
+        // Handles are `Copy`, so taking them out of the task costs nothing — the hot
+        // path no longer clones a label `String` or a participant `Vec` per event.
         let kind = task.kind.clone();
-        let label = task.label.clone();
-        let participants = task.participants.clone();
+        let label = task.label;
+        let participants = task.participants;
         match kind {
             TaskKind::Compute { duration } => {
                 let jitter = self.rng.jitter(self.config.compute_jitter);
@@ -361,7 +527,6 @@ impl OpusSimulator {
                 axis,
                 bytes,
             } => {
-                let size = self.dag.group(group).size();
                 let record = self.execute_comm(
                     id,
                     now,
@@ -369,10 +534,10 @@ impl OpusSimulator {
                     kind,
                     axis,
                     bytes,
-                    size,
                     Some(group),
                     label,
                     participants,
+                    planned,
                 );
                 (record.end, Some(record))
             }
@@ -384,10 +549,10 @@ impl OpusSimulator {
                     CollectiveKind::SendRecv,
                     axis,
                     bytes,
-                    2,
                     None,
                     label,
                     participants,
+                    planned,
                 );
                 (record.end, Some(record))
             }
@@ -403,48 +568,49 @@ impl OpusSimulator {
         kind: CollectiveKind,
         axis: ParallelismAxis,
         bytes: railsim_sim::Bytes,
-        group_size: usize,
         group: Option<GroupId>,
-        label: String,
-        participants: Vec<GpuId>,
+        label: LabelId,
+        participants: RankSet,
+        planned: Option<SimDuration>,
     ) -> CommRecord {
-        let (circuit_group, circuits) = self
-            .task_circuits
-            .get(&id)
-            .expect("every communication task has planned circuits")
-            .clone();
+        // Field-wise borrows: the circuit slot is read-shared while the backend and
+        // shim are mutated, which a method call on `self` could not express.
+        let OpusSimulator {
+            circuit_pool,
+            task_circuit_slot,
+            config,
+            cluster,
+            shim,
+            backend,
+            ..
+        } = self;
+        let slot = &circuit_pool[task_circuit_slot[id.0 as usize] as usize];
+        let circuit_group = slot.group;
+        let circuits = &slot.circuits;
+        let group_size = if group.is_some() {
+            slot.group_size as usize
+        } else {
+            2
+        };
         let scaleout = !circuits.is_scaleup_only();
         // §5 extension: small, bursty collectives can bypass the optical rails and run
         // over the host packet-switched network instead of triggering reconfigurations.
-        let offloaded = scaleout
-            && self
-                .config
-                .host_offload
-                .is_some_and(|h| bytes <= h.threshold);
+        let offloaded = scaleout && config.host_offload.is_some_and(|h| bytes <= h.threshold);
 
         // The shim intercepts every scale-out call that uses the rails; during the
         // profiling iteration it records the per-rank group sequence.
         if scaleout && !offloaded && iteration == 0 {
-            for rank in &participants {
-                self.shim.observe(*rank, circuit_group);
+            for rank in participants.ranks() {
+                shim.observe(*rank, circuit_group);
             }
         }
 
-        let params = if offloaded {
-            let h = self
-                .config
-                .host_offload
-                .expect("offloaded implies configured");
-            CostParams::new(h.alpha, h.bandwidth)
-        } else if scaleout {
-            self.scaleout_params()
-        } else {
-            self.scaleup_params()
-        };
-        let algorithm = self.config.scaleout_algorithm;
-        let duration = collective_time(kind, algorithm, group_size, bytes, &params);
+        let duration = planned.unwrap_or_else(|| {
+            let params = Self::comm_params(config, cluster, scaleout, offloaded);
+            collective_time(kind, config.scaleout_algorithm, group_size, bytes, &params)
+        });
 
-        let (start, circuit_wait, datapath_latency) = match &mut self.backend {
+        let (start, circuit_wait, datapath_latency) = match backend {
             Backend::Electrical(fabric) => {
                 let latency = if scaleout {
                     fabric.datapath_latency()
@@ -457,9 +623,8 @@ impl OpusSimulator {
                 if !scaleout || offloaded {
                     (now, SimDuration::ZERO, SimDuration::ZERO)
                 } else {
-                    let provisioned =
-                        self.config.provisioning_active(iteration) && self.shim.can_provision();
-                    let requested_at = if controller.is_installed(&circuits) {
+                    let provisioned = config.provisioning_active(iteration) && shim.can_provision();
+                    let requested_at = if controller.is_installed(circuits) {
                         now
                     } else if provisioned {
                         // Speculative request: issued as soon as the previous traffic
@@ -471,13 +636,13 @@ impl OpusSimulator {
                         // `issue time − reconfiguration latency`.
                         let earliest_useful = SimTime::from_nanos(
                             now.as_nanos()
-                                .saturating_sub(self.config.reconfig_latency.as_nanos()),
+                                .saturating_sub(config.reconfig_latency.as_nanos()),
                         );
-                        controller.ports_free_at(&circuits).max(earliest_useful)
+                        controller.ports_free_at(circuits).max(earliest_useful)
                     } else {
                         now
                     };
-                    let ready = controller.request(circuit_group, &circuits, requested_at);
+                    let ready = controller.request(circuit_group, circuits, requested_at);
                     let start = ready.max(now);
                     (start, start.duration_since(now), SimDuration::ZERO)
                 }
@@ -487,9 +652,9 @@ impl OpusSimulator {
         let start = start + datapath_latency;
         let end = start + duration;
 
-        if let Backend::Optical(controller) = &mut self.backend {
+        if let Backend::Optical(controller) = backend {
             if scaleout && !offloaded {
-                controller.occupy(&circuits, end);
+                controller.occupy(circuits, end);
             }
         }
 
@@ -821,6 +986,34 @@ mod tests {
                 assert_eq!(a.iteration_time, b.iteration_time, "{shards} shards");
                 assert_eq!(a.comm_records, b.comm_records, "{shards} shards");
                 assert_eq!(a.reconfig_events, b.reconfig_events, "{shards} shards");
+                assert_eq!(a.total_circuit_wait, b.total_circuit_wait);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_thread_count_never_changes_results() {
+        // The parallel stepping path commits in global (time, seq) order, so any
+        // thread count — across any shard count — must yield records, timings and
+        // reconfigurations identical to the sequential pop loop.
+        let (cluster, dag) = tiny_setup();
+        let base = OpusConfig::provisioned(SimDuration::from_millis(25))
+            .with_iterations(2)
+            .with_jitter(0.05, 9);
+        let reference = OpusSimulator::new(cluster.clone(), dag.clone(), base).run();
+        for (threads, shards) in [(1u32, 1u32), (2, 4), (4, 7), (8, 64)] {
+            let run = OpusSimulator::new(
+                cluster.clone(),
+                dag.clone(),
+                base.with_event_shards(shards)
+                    .with_parallel_threads(threads),
+            )
+            .run();
+            assert_eq!(run.iterations.len(), reference.iterations.len());
+            for (a, b) in run.iterations.iter().zip(reference.iterations.iter()) {
+                assert_eq!(a.iteration_time, b.iteration_time, "{threads}x{shards}");
+                assert_eq!(a.comm_records, b.comm_records, "{threads}x{shards}");
+                assert_eq!(a.reconfig_events, b.reconfig_events, "{threads}x{shards}");
                 assert_eq!(a.total_circuit_wait, b.total_circuit_wait);
             }
         }

@@ -212,7 +212,7 @@ mod tests {
     ) -> CommRecord {
         CommRecord {
             task: TaskId(issue_ms as u32),
-            label: format!("{axis} op"),
+            label: railsim_workload::LabelId::intern(&format!("{axis} op")),
             axis,
             kind: CollectiveKind::AllGather,
             group: Some(GroupId(0)),

@@ -92,6 +92,8 @@ impl RailConnectivity for ElectricalRailFabric {
 pub struct OpticalRailFabric {
     ocses: Vec<Ocs>,
     port_bandwidth: Bandwidth,
+    num_gpus: u32,
+    ports_per_gpu: u8,
 }
 
 impl OpticalRailFabric {
@@ -116,12 +118,30 @@ impl OpticalRailFabric {
         OpticalRailFabric {
             ocses,
             port_bandwidth: cluster.port_bandwidth(),
+            num_gpus: cluster.num_gpus(),
+            ports_per_gpu: cluster.ports_per_gpu(),
         }
     }
 
     /// Number of rails (one OCS each).
     pub fn num_rails(&self) -> usize {
         self.ocses.len()
+    }
+
+    /// Number of GPUs in the cluster this fabric was built for.
+    pub fn num_gpus(&self) -> u32 {
+        self.num_gpus
+    }
+
+    /// Logical scale-out NIC ports per GPU.
+    pub fn ports_per_gpu(&self) -> u8 {
+        self.ports_per_gpu
+    }
+
+    /// Size of a dense per-port state table over every port of the cluster
+    /// (see [`PortId::dense_index`](crate::PortId::dense_index)).
+    pub fn dense_port_count(&self) -> usize {
+        self.num_gpus as usize * self.ports_per_gpu as usize
     }
 
     /// Shared access to a rail's OCS.

@@ -58,6 +58,17 @@ impl PortId {
     pub fn new(gpu: GpuId, port: u8) -> Self {
         PortId { gpu, port }
     }
+
+    /// The port's index in a dense `num_gpus * ports_per_gpu` table: GPU-major,
+    /// logical-port-minor. Lets per-port state (e.g. the controller's occupancy
+    /// clock) live in a flat `Vec` instead of a hash map.
+    pub fn dense_index(self, ports_per_gpu: u8) -> usize {
+        debug_assert!(
+            self.port < ports_per_gpu,
+            "port {self} out of range for {ports_per_gpu} ports/GPU"
+        );
+        self.gpu.index() * ports_per_gpu as usize + self.port as usize
+    }
 }
 
 impl fmt::Display for GpuId {

@@ -24,6 +24,7 @@
 
 use crate::arena::{Arena, Handle};
 use crate::compute::ComputeModel;
+use crate::intern::{LabelId, RankSet};
 use crate::model::ModelConfig;
 use crate::parallelism::{DataParallelKind, ParallelismConfig};
 use crate::pipeline::PipelineSchedule;
@@ -131,16 +132,30 @@ pub struct Task {
     /// What the task does.
     pub kind: TaskKind,
     /// The ranks that take part (one rank for compute, the group for collectives,
-    /// `[src, dst]` for point-to-point transfers).
-    pub participants: Vec<GpuId>,
+    /// `[src, dst]` for point-to-point transfers), pooled so that every task sharing
+    /// a participant set (e.g. all of a comm group's collectives) shares one copy.
+    pub participants: RankSet,
     /// Tasks that must complete before this one can start.
     pub deps: Vec<TaskId>,
-    /// Human-readable label ("fwd s0 mb0 L3", "FSDP-AG L3", ...).
-    pub label: String,
+    /// Human-readable label ("fwd s0 mb0 L3", "FSDP-AG L3", ...), interned — see
+    /// [`crate::intern`]. Serializes as the plain string it resolves to.
+    pub label: LabelId,
     /// Micro-batch index, when applicable.
     pub microbatch: Option<u32>,
     /// Layer index, when applicable.
     pub layer: Option<u32>,
+}
+
+impl Task {
+    /// The participating ranks, resolved from the pooled set.
+    pub fn ranks(&self) -> &'static [GpuId] {
+        self.participants.ranks()
+    }
+
+    /// The label, resolved from the symbol table.
+    pub fn label_str(&self) -> &'static str {
+        self.label.as_str()
+    }
 }
 
 /// The execution DAG of one training iteration.
@@ -298,7 +313,7 @@ impl TrainingDag {
     pub fn tasks_of_rank(&self, rank: GpuId) -> Vec<&Task> {
         self.tasks
             .iter()
-            .filter(|t| t.participants.contains(&rank))
+            .filter(|t| t.participants.contains(rank))
             .collect()
     }
 }
@@ -325,8 +340,9 @@ struct BuildState {
     /// the call creates the task and later participants *join* it, contributing their
     /// own prerequisites as extra dependencies. This models a single NCCL call per
     /// group (the collective starts when its slowest member arrives) instead of one
-    /// call per member.
-    collective_instances: HashMap<(GroupId, String), TaskId>,
+    /// call per member. Keys are interned label handles, so a million-task build
+    /// hashes two `u32`s per lookup instead of a string.
+    collective_instances: HashMap<(GroupId, LabelId), TaskId>,
 }
 
 impl BuildState {
@@ -366,9 +382,9 @@ impl BuildState {
         let id = self.push(Task {
             id: TaskId(0),
             kind: TaskKind::Compute { duration },
-            participants: vec![rank],
+            participants: RankSet::intern(&[rank]),
             deps,
-            label,
+            label: LabelId::intern(&label),
             microbatch,
             layer,
         });
@@ -387,7 +403,7 @@ impl BuildState {
         microbatch: Option<u32>,
         layer: Option<u32>,
     ) -> TaskId {
-        let key = (group.id, label.clone());
+        let key = (group.id, LabelId::intern(&label));
         if let Some(&existing) = self.collective_instances.get(&key) {
             // A peer already created this collective instance: join it by contributing
             // our prerequisites, so the collective waits for its slowest participant.
@@ -422,9 +438,9 @@ impl BuildState {
                 axis: group.axis,
                 bytes,
             },
-            participants: group.ranks.clone(),
+            participants: RankSet::intern(&group.ranks),
             deps,
-            label,
+            label: key.1,
             microbatch,
             layer,
         });
@@ -458,9 +474,9 @@ impl BuildState {
                 axis,
                 bytes,
             },
-            participants: vec![src, dst],
+            participants: RankSet::intern(&[src, dst]),
             deps,
-            label,
+            label: LabelId::intern(&label),
             microbatch,
             layer: None,
         })
@@ -935,9 +951,10 @@ impl DagBuilder {
         for task in &st.tasks {
             if let TaskKind::Compute { .. } = task.kind {
                 if let (Some(mb), Some(_layer)) = (task.microbatch, task.layer) {
-                    let rank = task.participants[0];
-                    let is_fwd = task.label.starts_with("fwd");
-                    let is_bwd = task.label.starts_with("bwd");
+                    let rank = task.participants.first();
+                    let label = task.label.as_str();
+                    let is_fwd = label.starts_with("fwd");
+                    let is_bwd = label.starts_with("bwd");
                     if !is_fwd && !is_bwd {
                         continue;
                     }
@@ -1098,12 +1115,12 @@ mod tests {
         let fwd_sends = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("PP-fwd"))
+            .filter(|t| t.label_str().starts_with("PP-fwd"))
             .count();
         let bwd_sends = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("PP-bwd"))
+            .filter(|t| t.label_str().starts_with("PP-bwd"))
             .count();
         assert_eq!(fwd_sends, 16);
         assert_eq!(bwd_sends, 16);
@@ -1118,12 +1135,12 @@ mod tests {
         let ags = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("FSDP-AG"))
+            .filter(|t| t.label_str().starts_with("FSDP-AG"))
             .count();
         let rss = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("FSDP-RS"))
+            .filter(|t| t.label_str().starts_with("FSDP-RS"))
             .count();
         assert_eq!(ags, 128);
         assert_eq!(rss, 128);
@@ -1137,7 +1154,7 @@ mod tests {
         let tp = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("TP-"))
+            .filter(|t| t.label_str().starts_with("TP-"))
             .count();
         assert_eq!(tp, 256);
     }
@@ -1149,12 +1166,12 @@ mod tests {
         let dp_sync = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("sync-AR DP"))
+            .filter(|t| t.label_str().starts_with("sync-AR DP"))
             .count();
         let pp_sync = dag
             .tasks
             .iter()
-            .filter(|t| t.label.starts_with("sync-AR PP"))
+            .filter(|t| t.label_str().starts_with("sync-AR PP"))
             .count();
         assert_eq!(dp_sync, 8);
         assert_eq!(pp_sync, 8);
@@ -1165,8 +1182,8 @@ mod tests {
         let parallel = ParallelismConfig::data_only(4);
         let dag = tiny_dag(parallel);
         assert!(dag.validate().is_ok());
-        assert!(!dag.tasks.iter().any(|t| t.label.starts_with("PP-")));
-        assert!(dag.tasks.iter().any(|t| t.label.starts_with("DP-AR")));
+        assert!(!dag.tasks.iter().any(|t| t.label_str().starts_with("PP-")));
+        assert!(dag.tasks.iter().any(|t| t.label_str().starts_with("DP-AR")));
     }
 
     #[test]
@@ -1185,7 +1202,8 @@ mod tests {
             if let TaskKind::Collective { group, .. } = &task.kind {
                 let g = dag.group(*group);
                 assert_eq!(
-                    task.participants, g.ranks,
+                    task.ranks(),
+                    g.ranks.as_slice(),
                     "task {} participants",
                     task.label
                 );
@@ -1233,7 +1251,7 @@ mod tests {
         let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
         let dag = DagBuilder::new(model, parallel, compute).build();
         assert!(dag.validate().is_ok());
-        assert!(dag.tasks.iter().any(|t| t.label.contains("EP-")));
+        assert!(dag.tasks.iter().any(|t| t.label_str().contains("EP-")));
     }
 
     #[test]
@@ -1259,7 +1277,7 @@ mod tests {
         let tasks = dag.tasks_of_rank(GpuId(0));
         assert!(!tasks.is_empty());
         for t in tasks {
-            assert!(t.participants.contains(&GpuId(0)));
+            assert!(t.participants.contains(GpuId(0)));
         }
     }
 }

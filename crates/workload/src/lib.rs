@@ -15,6 +15,8 @@
 //!   phase classification (Fig. 3),
 //! * [`DagBuilder`] / [`TrainingDag`] — the execution DAG of one training iteration
 //!   (Fig. 2), consumed by the Opus simulator,
+//! * [`intern`] — the interned label symbol table and pooled rank sets that keep a
+//!   100k-GPU DAG's per-task footprint at two 4-byte handles,
 //! * [`strategy`] — the Table 1 rule-of-thumb strategy advisor,
 //! * [`windows`] — the Eq. 1 closed-form window-count estimate.
 //!
@@ -35,6 +37,7 @@
 pub mod arena;
 pub mod compute;
 pub mod dag;
+pub mod intern;
 pub mod model;
 pub mod parallelism;
 pub mod pipeline;
@@ -47,6 +50,7 @@ pub mod windows;
 pub use arena::{Arena, Handle};
 pub use compute::{ComputeModel, GpuSpec};
 pub use dag::{DagBuilder, Task, TaskArena, TaskId, TaskKind, TrainingDag};
+pub use intern::{LabelId, RankSet};
 pub use model::{DType, ModelConfig};
 pub use parallelism::{DataParallelKind, ParallelismConfig};
 pub use pipeline::{PipelineOp, PipelinePhase, PipelineSchedule};

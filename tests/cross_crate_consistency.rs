@@ -74,7 +74,7 @@ fn group_table_covers_every_dag_collective() {
     for task in dag.communication_tasks() {
         if let TaskKind::Collective { group, .. } = &task.kind {
             let entry = table.entry(*group).expect("group registered in the table");
-            assert_eq!(entry.group.ranks, task.participants);
+            assert_eq!(entry.group.ranks.as_slice(), task.ranks());
         }
     }
 }

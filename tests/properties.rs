@@ -254,8 +254,8 @@ proptest! {
         prop_assert!(dag.topological_order().is_some());
         // Every communication task's participants are distinct.
         for task in dag.communication_tasks() {
-            let set: std::collections::HashSet<_> = task.participants.iter().collect();
-            prop_assert_eq!(set.len(), task.participants.len());
+            let set: std::collections::HashSet<_> = task.ranks().iter().collect();
+            prop_assert_eq!(set.len(), task.ranks().len());
         }
     }
 
