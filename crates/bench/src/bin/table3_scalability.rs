@@ -6,18 +6,21 @@
 //!
 //! ```text
 //! table3_scalability [--gpus 1024,4096,10240,102400] [--iterations 2]
-//!                    [--parallel-threads N] [--skip-sim]
+//!                    [--parallel-threads N] [--policy electrical|optical|both]
+//!                    [--skip-sim]
 //! ```
 //!
 //! `--gpus` accepts a comma-separated list of cluster sizes (positive multiples of
 //! 64); the default runs the 1024-GPU point so the binary stays interactive, and the
-//! CI scale-smoke steps run the 1k point sequentially plus the 10k point with
-//! `--parallel-threads` under `timeout 120`. The full paper regime is
-//! `--gpus 1024,4096,10240`; `--gpus 102400` exercises the 100k-GPU ceiling
-//! (interned DAG + dense controller state; see EXPERIMENTS.md for the memory
-//! budget). `--parallel-threads N` steps each head time-slice on N scoped worker
-//! threads — results are byte-identical for any N. `--skip-sim` prints only the OCS
-//! technology table.
+//! CI scale-smoke steps run the 1k point sequentially, the 10k point with
+//! `--parallel-threads`, and the 10k point with `--policy optical` under
+//! `timeout 120`. The full paper regime is `--gpus 1024,4096,10240`;
+//! `--gpus 102400` exercises the 100k-GPU ceiling (interned DAG + dense controller
+//! state + port-indexed OCS matching; see EXPERIMENTS.md for the memory budget).
+//! `--parallel-threads N` steps each head time-slice on N scoped worker threads —
+//! results are byte-identical for any N. `--policy` restricts a point to one network
+//! policy (the default runs the electrical baseline and the provisioned optical
+//! policy back to back). `--skip-sim` prints only the OCS technology table.
 
 use opus::{baseline_of, OpusConfig, OpusSimulator};
 use railsim_bench::{mem, scale_run_config, scaled_cluster, scaled_dag, Report};
@@ -39,16 +42,32 @@ struct ScaleRun {
     total_reconfigs: usize,
     wall_clock_s: f64,
     events_per_sec: f64,
-    /// Peak resident set over DAG build + both policy runs of this GPU count, in MiB
-    /// (kernel `VmHWM`, reset per scale point where the platform allows; `None` when
-    /// procfs is unavailable).
+    /// Peak resident set over DAG build + every policy run of this GPU count that the
+    /// `--policy` filter selected, in MiB (kernel `VmHWM`, reset per scale point
+    /// where the platform allows; `None` when procfs is unavailable).
     peak_rss_mib: Option<f64>,
+    /// Lifetime circuits set up per rail (index == rail id); empty for the
+    /// electrical policy. Makes reconfiguration churn visible per scale point
+    /// instead of only through wall-clock time.
+    circuits_set_up_by_rail: Vec<u64>,
+    /// Lifetime circuits torn down per rail (index == rail id); empty for the
+    /// electrical policy.
+    circuits_torn_down_by_rail: Vec<u64>,
 }
 
-fn parse_args() -> (Vec<u32>, u32, u32, bool) {
+/// Which network policies a scale point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PolicyFilter {
+    Electrical,
+    Optical,
+    Both,
+}
+
+fn parse_args() -> (Vec<u32>, u32, u32, PolicyFilter, bool) {
     let mut gpus = vec![1024u32];
     let mut iterations = 2u32;
     let mut parallel_threads = 1u32;
+    let mut policy = PolicyFilter::Both;
     let mut skip_sim = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,11 +94,19 @@ fn parse_args() -> (Vec<u32>, u32, u32, bool) {
                     .expect("--parallel-threads must be an integer");
                 assert!(parallel_threads > 0, "--parallel-threads must be positive");
             }
+            "--policy" => {
+                policy = match args.next().expect("--policy needs a value").as_str() {
+                    "electrical" => PolicyFilter::Electrical,
+                    "optical" => PolicyFilter::Optical,
+                    "both" => PolicyFilter::Both,
+                    other => panic!("--policy must be electrical, optical or both, got {other}"),
+                };
+            }
             "--skip-sim" => skip_sim = true,
             other => panic!("unknown argument {other}; see the crate docs"),
         }
     }
-    (gpus, iterations, parallel_threads, skip_sim)
+    (gpus, iterations, parallel_threads, policy, skip_sim)
 }
 
 fn tech_table() {
@@ -111,7 +138,12 @@ fn tech_table() {
     Report::write_json("table3_scalability", &techs);
 }
 
-fn run_scale_point(num_gpus: u32, iterations: u32, parallel_threads: u32) -> Vec<ScaleRun> {
+fn run_scale_point(
+    num_gpus: u32,
+    iterations: u32,
+    parallel_threads: u32,
+    policy: PolicyFilter,
+) -> Vec<ScaleRun> {
     // Reset the kernel's peak-RSS watermark so this point's reading covers only its
     // own DAG + simulator state (best-effort; cumulative where unsupported).
     mem::reset_peak_rss();
@@ -128,10 +160,13 @@ fn run_scale_point(num_gpus: u32, iterations: u32, parallel_threads: u32) -> Vec
     if parallel_threads > 1 {
         provisioned = provisioned.with_parallel_threads(parallel_threads);
     }
-    let configs: [(&'static str, OpusConfig); 2] = [
-        ("electrical", baseline_of(&provisioned)),
-        ("optical provisioned 25ms", provisioned),
-    ];
+    let mut configs: Vec<(&'static str, OpusConfig)> = Vec::new();
+    if policy != PolicyFilter::Optical {
+        configs.push(("electrical", baseline_of(&provisioned)));
+    }
+    if policy != PolicyFilter::Electrical {
+        configs.push(("optical provisioned 25ms", provisioned));
+    }
     let last = configs.len() - 1;
     // The last policy takes ownership of the DAG: at 10k GPUs a deep clone of the
     // ~900k-task arena is seconds of memcpy and a transient double-memory spike.
@@ -149,6 +184,13 @@ fn run_scale_point(num_gpus: u32, iterations: u32, parallel_threads: u32) -> Vec
         let wall_clock_s = wall.elapsed().as_secs_f64();
         // Ready + Done per task per iteration.
         let events = 2.0 * dag_tasks as f64 * iterations as f64;
+        let fabric = sim.controller().map(|c| c.fabric());
+        let circuits_set_up_by_rail = fabric
+            .map(|f| f.circuits_set_up_by_rail())
+            .unwrap_or_default();
+        let circuits_torn_down_by_rail = fabric
+            .map(|f| f.circuits_torn_down_by_rail())
+            .unwrap_or_default();
         runs.push(ScaleRun {
             num_gpus,
             num_rails: cluster.num_rails(),
@@ -162,6 +204,8 @@ fn run_scale_point(num_gpus: u32, iterations: u32, parallel_threads: u32) -> Vec
             wall_clock_s,
             events_per_sec: events / wall_clock_s.max(1e-9),
             peak_rss_mib: None, // filled in once the whole point has run
+            circuits_set_up_by_rail,
+            circuits_torn_down_by_rail,
         });
         eprintln!("[{num_gpus} GPUs] {policy}: {wall_clock_s:.2}s wall clock");
     }
@@ -176,7 +220,7 @@ fn run_scale_point(num_gpus: u32, iterations: u32, parallel_threads: u32) -> Vec
 }
 
 fn main() {
-    let (gpus, iterations, parallel_threads, skip_sim) = parse_args();
+    let (gpus, iterations, parallel_threads, policy, skip_sim) = parse_args();
     tech_table();
     if skip_sim {
         return;
@@ -192,6 +236,7 @@ fn main() {
             "Threads",
             "Iter time (s)",
             "Reconfigs",
+            "Circ up/down",
             "Wall clock (s)",
             "Events/s",
             "Peak RSS (MiB)",
@@ -199,7 +244,16 @@ fn main() {
     );
     let mut all_runs = Vec::new();
     for &n in &gpus {
-        for run in run_scale_point(n, iterations, parallel_threads) {
+        for run in run_scale_point(n, iterations, parallel_threads, policy) {
+            let churn = if run.circuits_set_up_by_rail.is_empty() {
+                "-".to_string()
+            } else {
+                format!(
+                    "{}/{}",
+                    run.circuits_set_up_by_rail.iter().sum::<u64>(),
+                    run.circuits_torn_down_by_rail.iter().sum::<u64>()
+                )
+            };
             report.row(&[
                 run.num_gpus.to_string(),
                 run.policy.to_string(),
@@ -208,6 +262,7 @@ fn main() {
                 run.parallel_threads.to_string(),
                 format!("{:.3}", run.steady_iteration_time_s),
                 run.total_reconfigs.to_string(),
+                churn,
                 format!("{:.2}", run.wall_clock_s),
                 format!("{:.0}", run.events_per_sec),
                 run.peak_rss_mib
@@ -218,9 +273,15 @@ fn main() {
     }
     report.note("DGX H200 nodes, TP=8 / PP=8 / FSDP over the rest, 8 micro-batches, 1F1B");
     report.note("full paper regime: --gpus 1024,4096,10240; 100k ceiling: --gpus 102400 (see EXPERIMENTS.md)");
-    report.note(
-        "peak RSS covers DAG build + both policies of the GPU count (VmHWM, reset per point)",
-    );
+    let policies_note = match policy {
+        PolicyFilter::Electrical => "the electrical run",
+        PolicyFilter::Optical => "the optical run",
+        PolicyFilter::Both => "both policies",
+    };
+    report.note(format!(
+        "peak RSS covers DAG build + {policies_note} of the GPU count (VmHWM, reset per point)"
+    ));
+    report.note("circ up/down: lifetime circuits set up / torn down (per-rail split in the JSON)");
     println!();
     report.print();
     Report::write_json("table3_scale", &all_runs);

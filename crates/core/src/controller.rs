@@ -38,6 +38,9 @@ pub struct OpusController {
     /// rail. Unlike the event log this is never drained, so per-lane load stays
     /// observable at 10k-GPU scale without retaining hundreds of thousands of events.
     lifetime_by_rail: Vec<u64>,
+    /// Per-rail no-op flags of the request being handled, reused across requests so
+    /// the hot path never allocates.
+    noop_scratch: Vec<bool>,
 }
 
 impl OpusController {
@@ -55,6 +58,7 @@ impl OpusController {
             requests: 0,
             noop_requests: 0,
             lifetime_by_rail: vec![0; num_rails],
+            noop_scratch: Vec::new(),
         }
     }
 
@@ -104,6 +108,39 @@ impl OpusController {
             .all(|(rail, config)| self.fabric.ocs(*rail).already_installed(config))
     }
 
+    /// The time at which every circuit of the group is ready, or `None` when any rail
+    /// is missing part of the configuration. Pure O(circuits in the group) read — this
+    /// is the install feasibility/ready-time evaluation the simulator runs
+    /// concurrently in its prep phase; pair it with [`OpusController::circuit_epoch`]
+    /// to validate the answer at commit time.
+    pub fn installed_ready_time(&self, circuits: &GroupCircuits) -> Option<SimTime> {
+        let mut ready = SimTime::ZERO;
+        for (rail, config) in &circuits.per_rail {
+            ready = ready.max(self.fabric.ocs(*rail).installed_ready(config)?);
+        }
+        Some(ready)
+    }
+
+    /// Generation counter of the fabric's circuit state: unchanged between two reads
+    /// ⇒ no matching changed in between, so any pre-evaluated
+    /// [`OpusController::installed_ready_time`] answer is still valid. Delegates to
+    /// the fabric (which sums per-switch epochs), so even mutations that bypass the
+    /// controller — a future fault injector tearing down a GPU's circuits, say —
+    /// invalidate outstanding answers. Occupancy updates deliberately do *not* bump
+    /// it: they never affect an installed configuration's ready time.
+    pub fn circuit_epoch(&self) -> u64 {
+        self.fabric.circuit_epoch()
+    }
+
+    /// Accounts for a request that was pre-evaluated as a no-op (circuits installed
+    /// everywhere) and committed against an unchanged [`OpusController::circuit_epoch`]:
+    /// bumps the same counters [`OpusController::request`] would have, without
+    /// re-walking the rails.
+    pub fn note_noop_request(&mut self) {
+        self.requests += 1;
+        self.noop_requests += 1;
+    }
+
     /// Handles a reconfiguration request for `group`: installs the group's circuits on
     /// every rail it needs, waiting for conflicting traffic to drain first. Returns the
     /// time at which all circuits are ready to carry traffic.
@@ -121,13 +158,21 @@ impl OpusController {
             self.noop_requests += 1;
             return requested_at;
         }
-        let mut ready = requested_at;
-        let already_everywhere = self.is_installed(circuits);
+        // One pass computes every rail's no-op flag; the install loop below reuses
+        // them instead of re-walking each rail's installed circuits.
+        self.noop_scratch.clear();
+        let mut already_everywhere = true;
+        for (rail, config) in &circuits.per_rail {
+            let noop = self.fabric.ocs(*rail).already_installed(config);
+            self.noop_scratch.push(noop);
+            already_everywhere &= noop;
+        }
         if already_everywhere {
             self.noop_requests += 1;
         }
-        for (rail, config) in &circuits.per_rail {
-            let ocs_already = self.fabric.ocs(*rail).already_installed(config);
+        let mut ready = requested_at;
+        for (i, (rail, config)) in circuits.per_rail.iter().enumerate() {
+            let ocs_already = self.noop_scratch[i];
             let start = if ocs_already {
                 requested_at
             } else {
@@ -297,6 +342,46 @@ mod tests {
         assert_eq!(ctrl.request(tp.id, &circuits, t), t);
         assert_eq!(ctrl.total_reconfigs(), 0);
         assert_eq!(ctrl.noop_requests(), 1);
+    }
+
+    #[test]
+    fn epoch_tracks_installs_and_installed_ready_matches_noop_requests() {
+        let (cluster, mut ctrl, planner) = setup();
+        let group = dp_group(1, &[0, 4]);
+        let circuits = planner.plan(&cluster, &group);
+        // Nothing installed yet: no pre-evaluated ready time, epoch at zero.
+        assert_eq!(ctrl.installed_ready_time(&circuits), None);
+        assert_eq!(ctrl.circuit_epoch(), 0);
+
+        let ready = ctrl.request(group.id, &circuits, SimTime::ZERO);
+        assert_eq!(ctrl.circuit_epoch(), 1, "a real install bumps the epoch");
+        // The pure read now answers exactly what a no-op request would return.
+        assert_eq!(ctrl.installed_ready_time(&circuits), Some(ready));
+        let later = SimTime::from_millis(500);
+        assert_eq!(ctrl.request(group.id, &circuits, later), later);
+        assert_eq!(ctrl.circuit_epoch(), 1, "a no-op request leaves the epoch");
+
+        // Occupancy must not invalidate pre-evaluated answers either.
+        ctrl.occupy(&circuits, SimTime::from_secs(10));
+        assert_eq!(ctrl.circuit_epoch(), 1);
+        assert_eq!(ctrl.installed_ready_time(&circuits), Some(ready));
+
+        let before = (ctrl.requests(), ctrl.noop_requests());
+        ctrl.note_noop_request();
+        assert_eq!(ctrl.requests(), before.0 + 1);
+        assert_eq!(ctrl.noop_requests(), before.1 + 1);
+
+        // A conflicting install (shared port on rail 0) bumps the epoch again and
+        // withdraws the old group's pre-evaluated answer.
+        let pp = CommGroup::new(
+            railsim_collectives::GroupId(2),
+            ParallelismAxis::Pipeline,
+            vec![GpuId(0), GpuId(8)],
+        );
+        let pp_circuits = planner.plan(&cluster, &pp);
+        ctrl.request(pp.id, &pp_circuits, SimTime::from_secs(20));
+        assert_eq!(ctrl.circuit_epoch(), 2);
+        assert_eq!(ctrl.installed_ready_time(&circuits), None);
     }
 
     #[test]

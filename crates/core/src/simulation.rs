@@ -65,6 +65,21 @@ struct CircuitSlot {
 /// Sentinel slot index for tasks without circuit demand (compute tasks).
 const NO_SLOT: u32 = u32::MAX;
 
+/// The pure, state-independent work of one event, evaluated concurrently on the
+/// parallel stepping path's worker threads before the event's commit turn.
+#[derive(Debug, Clone, Copy)]
+struct EventPlan {
+    /// The α–β cost-model transfer duration (None for compute tasks).
+    duration: Option<SimDuration>,
+    /// Optical install feasibility/ready-time evaluation: when the task's circuits
+    /// were fully installed at prep time, the controller's circuit epoch and the time
+    /// at which every circuit is ready. Commit honours it only while the epoch is
+    /// unchanged (no install happened in between), which keeps results byte-identical
+    /// to the sequential path; a stale or absent plan falls back to the full
+    /// controller request.
+    optical_ready: Option<(u64, SimTime)>,
+}
+
 /// The end-to-end simulator.
 pub struct OpusSimulator {
     cluster: Cluster,
@@ -409,7 +424,7 @@ impl OpusSimulator {
         st: &mut IterState,
         now: SimTime,
         event: SimEvent,
-        planned: Option<SimDuration>,
+        planned: Option<EventPlan>,
         iteration: u32,
     ) {
         match event {
@@ -441,13 +456,46 @@ impl OpusSimulator {
 
     /// The pure (state-independent) part of handling an event, safe to evaluate on a
     /// worker thread before its commit turn: the cost-model duration of a
-    /// communication task. Compute jitter and controller interaction are *not* pure —
-    /// they run at commit time, in global event order.
-    fn prep_event(&self, event: SimEvent) -> Option<SimDuration> {
+    /// communication task, plus the optical install feasibility/ready-time check
+    /// (validated against the controller's circuit epoch at commit). Compute jitter
+    /// and stateful controller interaction are *not* pure — they run at commit time,
+    /// in global event order.
+    fn prep_event(&self, event: SimEvent) -> Option<EventPlan> {
         match event {
-            SimEvent::Ready(id) => self.plan_comm_duration(id),
+            SimEvent::Ready(id) => Some(EventPlan {
+                duration: self.plan_comm_duration(id),
+                optical_ready: self.plan_optical_ready(id),
+            }),
             SimEvent::Done(_) => None,
         }
+    }
+
+    /// Pre-evaluates the optical no-op fast path for a communication task: when every
+    /// circuit the task needs is already installed, a reconfiguration request is free
+    /// and its outcome — `max(now, ready time of the slowest circuit)` — depends only
+    /// on circuit state that the epoch check pins. Returns `None` for anything that
+    /// must take the stateful path (electrical backend, scale-up or offloaded
+    /// traffic, circuits not yet installed).
+    fn plan_optical_ready(&self, id: TaskId) -> Option<(u64, SimTime)> {
+        let Backend::Optical(controller) = &self.backend else {
+            return None;
+        };
+        let task = &self.dag.tasks[id.0 as usize];
+        let bytes = match task.kind {
+            TaskKind::Compute { .. } => return None,
+            TaskKind::Collective { bytes, .. } | TaskKind::PointToPoint { bytes, .. } => bytes,
+        };
+        let slot = &self.circuit_pool[self.task_circuit_slot[id.0 as usize] as usize];
+        if slot.circuits.is_scaleup_only()
+            || self
+                .config
+                .host_offload
+                .is_some_and(|h| bytes <= h.threshold)
+        {
+            return None;
+        }
+        let ready = controller.installed_ready_time(&slot.circuits)?;
+        Some((controller.circuit_epoch(), ready))
     }
 
     /// The α–β transfer duration of a communication task (None for compute tasks).
@@ -501,14 +549,14 @@ impl OpusSimulator {
 
     /// Executes one task that became ready at `now`; returns its end time and, for
     /// communication tasks, the record describing what happened. `planned` is the
-    /// pre-computed transfer duration from [`OpusSimulator::plan_comm_duration`], if
-    /// the parallel stepping path already evaluated it.
+    /// pre-computed pure work from [`OpusSimulator::prep_event`], if the parallel
+    /// stepping path already evaluated it.
     fn execute_task(
         &mut self,
         id: TaskId,
         now: SimTime,
         iteration: u32,
-        planned: Option<SimDuration>,
+        planned: Option<EventPlan>,
     ) -> (SimTime, Option<CommRecord>) {
         let task = &self.dag.tasks[id.0 as usize];
         // Handles are `Copy`, so taking them out of the task costs nothing — the hot
@@ -571,7 +619,7 @@ impl OpusSimulator {
         group: Option<GroupId>,
         label: LabelId,
         participants: RankSet,
-        planned: Option<SimDuration>,
+        planned: Option<EventPlan>,
     ) -> CommRecord {
         // Field-wise borrows: the circuit slot is read-shared while the backend and
         // shim are mutated, which a method call on `self` could not express.
@@ -605,7 +653,7 @@ impl OpusSimulator {
             }
         }
 
-        let duration = planned.unwrap_or_else(|| {
+        let duration = planned.and_then(|p| p.duration).unwrap_or_else(|| {
             let params = Self::comm_params(config, cluster, scaleout, offloaded);
             collective_time(kind, config.scaleout_algorithm, group_size, bytes, &params)
         });
@@ -622,11 +670,25 @@ impl OpusSimulator {
             Backend::Optical(controller) => {
                 if !scaleout || offloaded {
                     (now, SimDuration::ZERO, SimDuration::ZERO)
+                } else if let Some(ready) = planned
+                    .and_then(|p| p.optical_ready)
+                    .filter(|&(epoch, _)| epoch == controller.circuit_epoch())
+                    .map(|(_, ready)| ready)
+                    .or_else(|| controller.installed_ready_time(circuits))
+                {
+                    // The request is a no-op: the circuits are installed on every
+                    // rail, so it resolves to `max(now, slowest circuit ready)`.
+                    // Either prep proved it and no install invalidated the answer
+                    // (the epoch check — this is the reconfiguration work that used
+                    // to serialize the parallel commit phase), or one fresh
+                    // O(group circuits) walk just did.
+                    controller.note_noop_request();
+                    let start = ready.max(now);
+                    (start, start.duration_since(now), SimDuration::ZERO)
                 } else {
+                    // Not (fully) installed: the stateful reconfiguration path.
                     let provisioned = config.provisioning_active(iteration) && shim.can_provision();
-                    let requested_at = if controller.is_installed(circuits) {
-                        now
-                    } else if provisioned {
+                    let requested_at = if provisioned {
                         // Speculative request: issued as soon as the previous traffic
                         // on the affected circuits completed (Fig. 5b). Back-dating
                         // further than one reconfiguration latency buys nothing (the

@@ -112,8 +112,17 @@ impl OpticalRailFabric {
         reconfig_delay: SimDuration,
         radix: usize,
     ) -> Self {
+        // Pre-size every OCS's dense port tables from the cluster geometry, so the
+        // matching engine never grows mid-simulation.
         let ocses = (0..cluster.num_rails())
-            .map(|_| Ocs::new(radix, reconfig_delay))
+            .map(|_| {
+                Ocs::with_geometry(
+                    radix,
+                    reconfig_delay,
+                    cluster.num_gpus(),
+                    cluster.ports_per_gpu(),
+                )
+            })
             .collect();
         OpticalRailFabric {
             ocses,
@@ -175,6 +184,25 @@ impl OpticalRailFabric {
     /// Total reconfiguration operations across all rails.
     pub fn total_reconfigs(&self) -> u64 {
         self.ocses.iter().map(|o| o.reconfig_count()).sum()
+    }
+
+    /// Lifetime circuits set up, per rail (index == rail id). Exposes per-rail
+    /// reconfiguration churn to the experiment harness.
+    pub fn circuits_set_up_by_rail(&self) -> Vec<u64> {
+        self.ocses.iter().map(|o| o.circuits_set_up()).collect()
+    }
+
+    /// Lifetime circuits torn down, per rail (index == rail id).
+    pub fn circuits_torn_down_by_rail(&self) -> Vec<u64> {
+        self.ocses.iter().map(|o| o.circuits_torn_down()).collect()
+    }
+
+    /// Generation counter of the whole fabric's circuit state: the sum of every
+    /// rail's [`Ocs::epoch`]. Any mutation of any rail's matching — install,
+    /// tear-down, clear, through *any* code path — changes it, so two equal reads
+    /// guarantee every pre-evaluated connectivity/ready-time answer is still valid.
+    pub fn circuit_epoch(&self) -> u64 {
+        self.ocses.iter().map(|o| o.epoch()).sum()
     }
 
     /// Bandwidth of a single optical circuit (one logical NIC port).

@@ -11,7 +11,7 @@
 use crate::ids::{GpuId, PortId};
 use railsim_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// An undirected circuit between two OCS ports.
@@ -156,34 +156,154 @@ impl fmt::Display for OcsError {
 
 impl std::error::Error for OcsError {}
 
+/// Sentinel in [`Ocs::peer`]: the port is not part of any circuit.
+const NO_PEER: u32 = u32::MAX;
+
+/// Ports-per-GPU assumed by [`Ocs::new`] when no fabric geometry is supplied. Large
+/// enough for every NIC configuration in [`crate::spec::NicConfig`] (at most 4 logical
+/// ports); fabrics built from a concrete cluster pass the exact value instead.
+const DEFAULT_PORTS_PER_GPU: u8 = 8;
+
 /// An optical circuit switch: a bounded-radix partial matching of ports, each circuit
 /// annotated with the simulated time at which it becomes usable.
+///
+/// The matching is stored *port-indexed*: flat `Vec`s over the dense port space
+/// ([`PortId::dense_index`]) holding each port's matched peer and the circuit's ready
+/// time. That makes every per-port question — is this circuit installed, when is it
+/// ready, which peers does this GPU reach — O(1) or O(ports per GPU), and
+/// [`Ocs::install`] O(affected ports), where the previous `BTreeMap<Circuit, SimTime>`
+/// walked every installed circuit of the rail. A dense scan in port order still yields
+/// circuits in exactly the sorted order the `BTreeMap` produced (a circuit's smaller
+/// endpoint is unique per matching and dense order equals `PortId` order), so
+/// serialized output is unchanged.
 #[derive(Debug, Clone)]
 pub struct Ocs {
     radix: usize,
     reconfig_delay: SimDuration,
-    /// Installed circuits and the time at which each becomes ready to carry traffic.
-    circuits: BTreeMap<Circuit, SimTime>,
+    ports_per_gpu: u8,
+    /// True when the dense tables were pre-sized from a concrete cluster geometry
+    /// ([`Ocs::with_geometry`]): installing a port beyond that geometry is then a
+    /// caller bug and panics at the install instead of desynchronizing from other
+    /// geometry-sized state (e.g. the controller's occupancy table).
+    fixed_geometry: bool,
+    /// Dense index of the port matched to port `i`, or [`NO_PEER`]. Doubles as the
+    /// per-GPU adjacency: GPU `g`'s ports occupy indices `g*ports_per_gpu ..`.
+    peer: Vec<u32>,
+    /// Ready time of the circuit terminating at port `i`; meaningful only where
+    /// `peer[i] != NO_PEER`. Stored on both endpoints.
+    ready: Vec<SimTime>,
+    num_circuits: usize,
     reconfig_count: u64,
     circuits_torn_down: u64,
     circuits_set_up: u64,
+    /// Bumped by every mutation that changes the matching (install with new circuits,
+    /// tear-down, clear). Two equal reads bracket a span with unchanged circuit
+    /// state, so pre-evaluated connectivity/ready-time answers can be revalidated
+    /// without re-walking anything. Living on the switch itself (not a caller) makes
+    /// the guarantee structural: *no* mutation path can bypass it.
+    epoch: u64,
+    /// Install-time scratch: sorted dense indices of the requested new ports. Kept on
+    /// the switch so the hot path never allocates.
+    scratch: Vec<u32>,
 }
 
 impl Ocs {
-    /// Creates an OCS with the given port count and reconfiguration delay.
+    /// Creates an OCS with the given port count and reconfiguration delay. The dense
+    /// port tables grow on demand; prefer [`Ocs::with_geometry`] when the attached
+    /// cluster's geometry is known (the fabric pre-sizes the tables once).
     ///
     /// # Panics
     /// Panics if `radix` is zero.
     pub fn new(radix: usize, reconfig_delay: SimDuration) -> Self {
+        Self::with_geometry(radix, reconfig_delay, 0, DEFAULT_PORTS_PER_GPU)
+    }
+
+    /// Creates an OCS whose dense port tables are pre-sized for a cluster of
+    /// `num_gpus` GPUs with `ports_per_gpu` logical NIC ports each.
+    ///
+    /// # Panics
+    /// Panics if `radix` or `ports_per_gpu` is zero.
+    pub fn with_geometry(
+        radix: usize,
+        reconfig_delay: SimDuration,
+        num_gpus: u32,
+        ports_per_gpu: u8,
+    ) -> Self {
         assert!(radix > 0, "an OCS must have at least one port");
+        assert!(ports_per_gpu > 0, "GPUs must expose at least one port");
+        let dense = num_gpus as usize * ports_per_gpu as usize;
         Ocs {
             radix,
             reconfig_delay,
-            circuits: BTreeMap::new(),
+            ports_per_gpu,
+            fixed_geometry: num_gpus > 0,
+            peer: vec![NO_PEER; dense],
+            ready: vec![SimTime::ZERO; dense],
+            num_circuits: 0,
             reconfig_count: 0,
             circuits_torn_down: 0,
             circuits_set_up: 0,
+            epoch: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// The dense index of `port` in this switch's tables.
+    ///
+    /// # Panics
+    /// Panics when the port's logical index exceeds the switch geometry — in every
+    /// build, because a release-mode overflow would silently alias the port onto the
+    /// next GPU's table rows.
+    fn dense(&self, port: PortId) -> usize {
+        assert!(
+            port.port < self.ports_per_gpu,
+            "{port} out of range for an OCS of {} ports/GPU",
+            self.ports_per_gpu
+        );
+        port.dense_index(self.ports_per_gpu)
+    }
+
+    /// The port living at dense index `idx`.
+    fn port_at(&self, idx: usize) -> PortId {
+        let ppg = self.ports_per_gpu as usize;
+        PortId::new(GpuId((idx / ppg) as u32), (idx % ppg) as u8)
+    }
+
+    /// Grows the dense tables to cover `idx` (whole-GPU granularity). Only reachable
+    /// through [`Ocs::new`] without geometry; pre-sized switches never grow.
+    ///
+    /// # Panics
+    /// Panics when `idx` lies outside a pre-sized switch's cluster geometry — the
+    /// caller is asking for a port that does not exist on the fabric.
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.peer.len() {
+            assert!(
+                !self.fixed_geometry,
+                "port index {idx} outside the pre-sized fabric geometry ({} dense ports)",
+                self.peer.len()
+            );
+            let ppg = self.ports_per_gpu as usize;
+            let len = (idx / ppg + 1) * ppg;
+            self.peer.resize(len, NO_PEER);
+            self.ready.resize(len, SimTime::ZERO);
+        }
+    }
+
+    /// The matched peer of `port`, if the port is part of an installed circuit.
+    fn peer_of(&self, port: PortId) -> Option<usize> {
+        let idx = self.dense(port);
+        match self.peer.get(idx) {
+            Some(&p) if p != NO_PEER => Some(p as usize),
+            _ => None,
+        }
+    }
+
+    /// The dense index range of `gpu`'s ports, clamped to the allocated tables.
+    fn gpu_range(&self, gpu: GpuId) -> std::ops::Range<usize> {
+        let ppg = self.ports_per_gpu as usize;
+        let lo = (gpu.index() * ppg).min(self.peer.len());
+        let hi = (lo + ppg).min(self.peer.len());
+        lo..hi
     }
 
     /// The switch radix (number of ports).
@@ -203,12 +323,12 @@ impl Ocs {
 
     /// Number of installed circuits (ready or still settling).
     pub fn num_circuits(&self) -> usize {
-        self.circuits.len()
+        self.num_circuits
     }
 
     /// Number of ports currently part of a circuit.
     pub fn ports_in_use(&self) -> usize {
-        self.circuits.len() * 2
+        self.num_circuits * 2
     }
 
     /// Number of reconfiguration operations performed (install calls that changed state).
@@ -226,47 +346,73 @@ impl Ocs {
         self.circuits_set_up
     }
 
-    /// Iterates over installed circuits and their ready times.
-    pub fn circuits(&self) -> impl Iterator<Item = (&Circuit, &SimTime)> {
-        self.circuits.iter()
+    /// Generation counter of the matching: bumped by every state-changing install,
+    /// tear-down and clear. Equal across two reads ⇒ the matching (and every ready
+    /// time) was unchanged in between.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates over installed circuits and their ready times, in ascending
+    /// [`Circuit`] order (the order the former `BTreeMap` storage produced: the dense
+    /// scan visits each circuit at its smaller endpoint, and smaller endpoints are
+    /// unique per matching).
+    pub fn circuits(&self) -> impl Iterator<Item = (Circuit, SimTime)> + '_ {
+        self.peer.iter().enumerate().filter_map(move |(i, &q)| {
+            if q != NO_PEER && q as usize > i {
+                Some((
+                    Circuit::new(self.port_at(i), self.port_at(q as usize)),
+                    self.ready[i],
+                ))
+            } else {
+                None
+            }
+        })
     }
 
     /// True when a circuit between `a` and `b` is installed and ready at `now`.
     pub fn is_connected(&self, a: PortId, b: PortId, now: SimTime) -> bool {
-        self.circuits
-            .get(&Circuit::new(a, b))
-            .map(|&ready| ready <= now)
-            .unwrap_or(false)
+        self.ready_time(a, b).is_some_and(|ready| ready <= now)
     }
 
     /// The ready time of the circuit between `a` and `b`, if installed.
     pub fn ready_time(&self, a: PortId, b: PortId) -> Option<SimTime> {
-        self.circuits.get(&Circuit::new(a, b)).copied()
+        (self.peer_of(a) == Some(self.dense(b))).then(|| self.ready[self.dense(a)])
     }
 
     /// True when any circuit between a port of `x` and a port of `y` is ready at `now`.
     pub fn gpus_connected(&self, x: GpuId, y: GpuId, now: SimTime) -> bool {
-        self.circuits
-            .iter()
-            .any(|(c, &ready)| c.connects_gpus(x, y) && ready <= now)
+        self.gpu_range(x).any(|i| {
+            let q = self.peer[i];
+            q != NO_PEER && self.port_at(q as usize).gpu == y && self.ready[i] <= now
+        })
     }
 
     /// Earliest ready time over circuits connecting GPUs `x` and `y`, if any circuit
     /// between them is installed (possibly still settling).
     pub fn gpu_ready_time(&self, x: GpuId, y: GpuId) -> Option<SimTime> {
-        self.circuits
-            .iter()
-            .filter(|(c, _)| c.connects_gpus(x, y))
-            .map(|(_, &ready)| ready)
+        self.gpu_range(x)
+            .filter(|&i| {
+                let q = self.peer[i];
+                q != NO_PEER && self.port_at(q as usize).gpu == y
+            })
+            .map(|i| self.ready[i])
             .min()
     }
 
     /// Number of ready circuits between GPUs `x` and `y` at `now` (used to compute the
     /// aggregate bandwidth of a multi-port connection).
     pub fn circuits_between_gpus(&self, x: GpuId, y: GpuId, now: SimTime) -> usize {
-        self.circuits
-            .iter()
-            .filter(|(c, &ready)| c.connects_gpus(x, y) && ready <= now)
+        self.gpu_range(x)
+            .filter(|&i| {
+                let q = self.peer[i];
+                // A circuit looping both its endpoints onto one GPU shows up at both
+                // of that GPU's ports; count it at the smaller one only.
+                q != NO_PEER
+                    && self.port_at(q as usize).gpu == y
+                    && self.ready[i] <= now
+                    && (x != y || q as usize > i)
+            })
             .count()
     }
 
@@ -276,7 +422,20 @@ impl Ocs {
         config
             .circuits()
             .iter()
-            .all(|c| self.circuits.contains_key(c))
+            .all(|c| self.peer_of(c.a()) == Some(self.dense(c.b())))
+    }
+
+    /// The time at which every circuit of `config` is ready, or `None` when any of
+    /// them is not installed. The O(config) read half of a no-op
+    /// [`Ocs::install`] — callers that pre-evaluate reconfiguration requests (the
+    /// Opus simulator's parallel prep phase) use it to answer "would this request be
+    /// free, and when would it be ready?" without touching switch state.
+    pub fn installed_ready(&self, config: &CircuitConfig) -> Option<SimTime> {
+        let mut ready = SimTime::ZERO;
+        for c in config.circuits() {
+            ready = ready.max(self.ready_time(c.a(), c.b())?);
+        }
+        Some(ready)
     }
 
     /// Installs the circuits of `config`, tearing down any existing circuits that
@@ -291,67 +450,97 @@ impl Ocs {
     /// Returns [`OcsError::RadixExceeded`] if the resulting matching would need more
     /// ports than the switch has; the switch state is left unchanged in that case.
     pub fn install(&mut self, config: &CircuitConfig, now: SimTime) -> Result<SimTime, OcsError> {
-        // Determine which requested circuits are new.
-        let new_circuits: Vec<Circuit> = config
+        // Grow the dense tables to cover every requested port (no-op on pre-sized
+        // switches), so the passes below can index unconditionally.
+        if let Some(max_idx) = config
             .circuits()
             .iter()
-            .filter(|c| !self.circuits.contains_key(c))
-            .copied()
-            .collect();
+            .flat_map(|c| [self.dense(c.a()), self.dense(c.b())])
+            .max()
+        {
+            self.ensure(max_idx);
+        }
 
-        if new_circuits.is_empty() {
+        // Collect the ports of the requested circuits that are *new* (not installed).
+        // A requested circuit that is already installed cannot share a port with a new
+        // one (`config` is a valid matching), so this classification stays stable
+        // through the teardown pass.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for c in config.circuits() {
+            let (a, b) = (self.dense(c.a()), self.dense(c.b()));
+            if self.peer[a] != b as u32 {
+                scratch.push(a as u32);
+                scratch.push(b as u32);
+            }
+        }
+
+        if scratch.is_empty() {
             // Nothing changes; ready when the slowest requested circuit is ready.
+            self.scratch = scratch;
             let ready = config
                 .circuits()
                 .iter()
-                .filter_map(|c| self.circuits.get(c).copied())
+                .map(|c| self.ready[self.dense(c.a())])
                 .max()
                 .unwrap_or(now);
             return Ok(ready.max(now));
         }
+        scratch.sort_unstable();
 
-        // Simulate the resulting matching to validate the radix bound.
-        let requested_ports: BTreeSet<PortId> =
-            new_circuits.iter().flat_map(|c| [c.a(), c.b()]).collect();
-        let surviving: Vec<Circuit> = self
-            .circuits
-            .keys()
-            .filter(|c| !c.uses_port_any(&requested_ports))
-            .copied()
-            .collect();
-        let resulting_ports = surviving.len() * 2 + requested_ports.len();
+        // Validate the radix bound of the resulting matching before mutating: the
+        // requested ports displace every installed circuit they touch, counted once
+        // even when both of a circuit's endpoints are requested.
+        let mut displaced = 0usize;
+        for &p in &scratch {
+            let q = self.peer[p as usize];
+            if q != NO_PEER && (scratch.binary_search(&q).is_err() || q > p) {
+                displaced += 1;
+            }
+        }
+        let resulting_ports = (self.num_circuits - displaced) * 2 + scratch.len();
         if resulting_ports > self.radix {
+            self.scratch = scratch;
             return Err(OcsError::RadixExceeded {
                 required: resulting_ports,
                 radix: self.radix,
             });
         }
 
-        // Tear down conflicting circuits.
-        let to_remove: Vec<Circuit> = self
-            .circuits
-            .keys()
-            .filter(|c| c.uses_port_any(&requested_ports))
-            .copied()
-            .collect();
-        for c in &to_remove {
-            self.circuits.remove(c);
-            self.circuits_torn_down += 1;
+        // Tear down conflicting circuits (clearing both endpoints counts each once).
+        for &p in &scratch {
+            let q = self.peer[p as usize];
+            if q != NO_PEER {
+                self.peer[p as usize] = NO_PEER;
+                self.peer[q as usize] = NO_PEER;
+                self.circuits_torn_down += 1;
+                self.num_circuits -= 1;
+            }
         }
 
-        // Set up the new circuits.
+        // Set up the new circuits (the already-installed ones keep their ready time).
         let ready_at = now + self.reconfig_delay;
-        for c in &new_circuits {
-            self.circuits.insert(*c, ready_at);
+        for c in config.circuits() {
+            let (a, b) = (self.dense(c.a()), self.dense(c.b()));
+            if self.peer[a] == b as u32 {
+                continue;
+            }
+            self.peer[a] = b as u32;
+            self.peer[b] = a as u32;
+            self.ready[a] = ready_at;
+            self.ready[b] = ready_at;
             self.circuits_set_up += 1;
+            self.num_circuits += 1;
         }
         self.reconfig_count += 1;
+        self.epoch += 1;
+        self.scratch = scratch;
 
         // All requested circuits (old and new) must be ready.
         let ready = config
             .circuits()
             .iter()
-            .filter_map(|c| self.circuits.get(c).copied())
+            .map(|c| self.ready[self.dense(c.a())])
             .max()
             .unwrap_or(ready_at);
         Ok(ready.max(now))
@@ -359,36 +548,34 @@ impl Ocs {
 
     /// Tears down every circuit touching any port of `gpu`. Returns how many were removed.
     pub fn tear_down_gpu(&mut self, gpu: GpuId) -> usize {
-        let to_remove: Vec<Circuit> = self
-            .circuits
-            .keys()
-            .filter(|c| c.touches_gpu(gpu))
-            .copied()
-            .collect();
-        let n = to_remove.len();
-        for c in to_remove {
-            self.circuits.remove(&c);
-            self.circuits_torn_down += 1;
+        let mut n = 0;
+        for i in self.gpu_range(gpu) {
+            let q = self.peer[i];
+            if q != NO_PEER {
+                self.peer[i] = NO_PEER;
+                self.peer[q as usize] = NO_PEER;
+                self.circuits_torn_down += 1;
+                self.num_circuits -= 1;
+                n += 1;
+            }
         }
         if n > 0 {
             self.reconfig_count += 1;
+            self.epoch += 1;
         }
         n
     }
 
     /// Tears down every installed circuit.
     pub fn clear(&mut self) {
-        if !self.circuits.is_empty() {
-            self.circuits_torn_down += self.circuits.len() as u64;
+        if self.num_circuits > 0 {
+            self.circuits_torn_down += self.num_circuits as u64;
             self.reconfig_count += 1;
+            self.epoch += 1;
         }
-        self.circuits.clear();
-    }
-}
-
-impl Circuit {
-    fn uses_port_any(&self, ports: &BTreeSet<PortId>) -> bool {
-        ports.contains(&self.lo) || ports.contains(&self.hi)
+        self.peer.fill(NO_PEER);
+        self.ready.fill(SimTime::ZERO);
+        self.num_circuits = 0;
     }
 }
 

@@ -1,0 +1,280 @@
+//! Old-vs-new OCS equivalence: the port-indexed matching engine must answer every
+//! query exactly like the `BTreeMap<Circuit, SimTime>` implementation it replaced.
+//!
+//! [`RefOcs`] is a line-for-line reimplementation of the pre-refactor switch (circuit
+//! set in a sorted map, installs scanning every installed circuit). The property
+//! drives both switches through identical random sequences of `install` /
+//! `tear_down_gpu` / `clear` operations and asserts identical install results
+//! (including radix errors), counters, connectivity answers, ready times, and —
+//! critically for byte-identical serialized output — `circuits()` iteration order.
+
+use proptest::prelude::*;
+use railsim_sim::{SimDuration, SimTime};
+use railsim_topology::{Circuit, CircuitConfig, GpuId, Ocs, OcsError, PortId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The reference model: the original `BTreeMap`-backed OCS, counters and all.
+struct RefOcs {
+    radix: usize,
+    reconfig_delay: SimDuration,
+    circuits: BTreeMap<Circuit, SimTime>,
+    reconfig_count: u64,
+    circuits_torn_down: u64,
+    circuits_set_up: u64,
+}
+
+impl RefOcs {
+    fn new(radix: usize, reconfig_delay: SimDuration) -> Self {
+        RefOcs {
+            radix,
+            reconfig_delay,
+            circuits: BTreeMap::new(),
+            reconfig_count: 0,
+            circuits_torn_down: 0,
+            circuits_set_up: 0,
+        }
+    }
+
+    fn install(&mut self, config: &CircuitConfig, now: SimTime) -> Result<SimTime, OcsError> {
+        let new_circuits: Vec<Circuit> = config
+            .circuits()
+            .iter()
+            .filter(|c| !self.circuits.contains_key(c))
+            .copied()
+            .collect();
+        if new_circuits.is_empty() {
+            let ready = config
+                .circuits()
+                .iter()
+                .filter_map(|c| self.circuits.get(c).copied())
+                .max()
+                .unwrap_or(now);
+            return Ok(ready.max(now));
+        }
+        let requested_ports: BTreeSet<PortId> =
+            new_circuits.iter().flat_map(|c| [c.a(), c.b()]).collect();
+        let uses_any =
+            |c: &Circuit| requested_ports.contains(&c.a()) || requested_ports.contains(&c.b());
+        let surviving = self.circuits.keys().filter(|c| !uses_any(c)).count();
+        let resulting_ports = surviving * 2 + requested_ports.len();
+        if resulting_ports > self.radix {
+            return Err(OcsError::RadixExceeded {
+                required: resulting_ports,
+                radix: self.radix,
+            });
+        }
+        let to_remove: Vec<Circuit> = self
+            .circuits
+            .keys()
+            .filter(|c| uses_any(c))
+            .copied()
+            .collect();
+        for c in &to_remove {
+            self.circuits.remove(c);
+            self.circuits_torn_down += 1;
+        }
+        let ready_at = now + self.reconfig_delay;
+        for c in &new_circuits {
+            self.circuits.insert(*c, ready_at);
+            self.circuits_set_up += 1;
+        }
+        self.reconfig_count += 1;
+        let ready = config
+            .circuits()
+            .iter()
+            .filter_map(|c| self.circuits.get(c).copied())
+            .max()
+            .unwrap_or(ready_at);
+        Ok(ready.max(now))
+    }
+
+    fn tear_down_gpu(&mut self, gpu: GpuId) -> usize {
+        let to_remove: Vec<Circuit> = self
+            .circuits
+            .keys()
+            .filter(|c| c.touches_gpu(gpu))
+            .copied()
+            .collect();
+        let n = to_remove.len();
+        for c in to_remove {
+            self.circuits.remove(&c);
+            self.circuits_torn_down += 1;
+        }
+        if n > 0 {
+            self.reconfig_count += 1;
+        }
+        n
+    }
+
+    fn clear(&mut self) {
+        if !self.circuits.is_empty() {
+            self.circuits_torn_down += self.circuits.len() as u64;
+            self.reconfig_count += 1;
+        }
+        self.circuits.clear();
+    }
+
+    fn gpus_connected(&self, x: GpuId, y: GpuId, now: SimTime) -> bool {
+        self.circuits
+            .iter()
+            .any(|(c, &ready)| c.connects_gpus(x, y) && ready <= now)
+    }
+
+    fn gpu_ready_time(&self, x: GpuId, y: GpuId) -> Option<SimTime> {
+        self.circuits
+            .iter()
+            .filter(|(c, _)| c.connects_gpus(x, y))
+            .map(|(_, &ready)| ready)
+            .min()
+    }
+
+    fn circuits_between_gpus(&self, x: GpuId, y: GpuId, now: SimTime) -> usize {
+        self.circuits
+            .iter()
+            .filter(|(c, &ready)| c.connects_gpus(x, y) && ready <= now)
+            .count()
+    }
+
+    fn already_installed(&self, config: &CircuitConfig) -> bool {
+        config
+            .circuits()
+            .iter()
+            .all(|c| self.circuits.contains_key(c))
+    }
+}
+
+const NUM_GPUS: u32 = 10;
+const PORTS_PER_GPU: u8 = 2;
+
+/// One random operation applied to both switches, as raw sampled data (the vendored
+/// proptest has no `prop_map`): `kind` 0–5 installs the matching built from `pairs`
+/// at `dt_ms` past the previous operation, 6–7 tears down `gpu`, 8 clears.
+type RawOp = (u8, Vec<(u32, u8, u32, u8)>, u64, u32);
+
+fn op_strategy() -> impl Strategy<Value = RawOp> {
+    (
+        0u8..9,
+        proptest::collection::vec(
+            (0..NUM_GPUS, 0..PORTS_PER_GPU, 0..NUM_GPUS, 0..PORTS_PER_GPU),
+            1..6,
+        ),
+        0u64..40,
+        0..NUM_GPUS,
+    )
+}
+
+/// Builds a valid matching out of random endpoint pairs (self-loops and reused ports
+/// dropped), mirroring what the circuit planner guarantees.
+fn build_config(pairs: &[(u32, u8, u32, u8)]) -> Option<CircuitConfig> {
+    let mut used = BTreeSet::new();
+    let mut circuits = Vec::new();
+    for &(ga, pa, gb, pb) in pairs {
+        let a = PortId::new(GpuId(ga), pa);
+        let b = PortId::new(GpuId(gb), pb);
+        if a == b || used.contains(&a) || used.contains(&b) {
+            continue;
+        }
+        used.insert(a);
+        used.insert(b);
+        circuits.push(Circuit::new(a, b));
+    }
+    if circuits.is_empty() {
+        None
+    } else {
+        Some(CircuitConfig::new(circuits).expect("deduplicated ports form a valid matching"))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The dense engine and the reference model agree on every observable after every
+    // operation of a random sequence, for both the pre-sized and the growable
+    // constructors and for radices small enough to trigger `RadixExceeded`.
+    #[test]
+    fn port_indexed_ocs_matches_btreemap_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..25),
+        radix in 4usize..24,
+        delay_ms in 0u64..50,
+        presized in 0u8..2,
+    ) {
+        let delay = SimDuration::from_millis(delay_ms);
+        let mut ocs = if presized == 1 {
+            Ocs::with_geometry(radix, delay, NUM_GPUS, PORTS_PER_GPU)
+        } else {
+            Ocs::new(radix, delay)
+        };
+        let mut reference = RefOcs::new(radix, delay);
+        let mut now = SimTime::ZERO;
+
+        for (kind, pairs, dt_ms, gpu) in &ops {
+            match kind {
+                0..=5 => {
+                    now += SimDuration::from_millis(*dt_ms);
+                    let Some(config) = build_config(pairs) else { continue };
+                    prop_assert_eq!(
+                        ocs.already_installed(&config),
+                        reference.already_installed(&config)
+                    );
+                    let got = ocs.install(&config, now);
+                    let want = reference.install(&config, now);
+                    prop_assert_eq!(&got, &want, "install result diverged at {}", now);
+                    if let Ok(ready) = got {
+                        // The pure read half must agree with the no-op re-install.
+                        prop_assert_eq!(
+                            ocs.installed_ready(&config).map(|t| t.max(now)),
+                            Some(ready)
+                        );
+                    }
+                }
+                6..=7 => {
+                    prop_assert_eq!(
+                        ocs.tear_down_gpu(GpuId(*gpu)),
+                        reference.tear_down_gpu(GpuId(*gpu))
+                    );
+                }
+                _ => {
+                    ocs.clear();
+                    reference.clear();
+                }
+            }
+
+            // Counters.
+            prop_assert_eq!(ocs.num_circuits(), reference.circuits.len());
+            prop_assert_eq!(ocs.ports_in_use(), reference.circuits.len() * 2);
+            prop_assert_eq!(ocs.reconfig_count(), reference.reconfig_count);
+            prop_assert_eq!(ocs.circuits_torn_down(), reference.circuits_torn_down);
+            prop_assert_eq!(ocs.circuits_set_up(), reference.circuits_set_up);
+
+            // Iteration order: the dense port scan must reproduce the BTreeMap's
+            // sorted circuit order exactly (serialized output depends on it).
+            let dense: Vec<(Circuit, SimTime)> = ocs.circuits().collect();
+            let sorted: Vec<(Circuit, SimTime)> =
+                reference.circuits.iter().map(|(c, t)| (*c, *t)).collect();
+            prop_assert_eq!(dense, sorted);
+
+            // Connectivity answers over every GPU pair, at a probe time that splits
+            // settling from settled circuits.
+            let probe = now + SimDuration::from_millis(1);
+            for x in 0..NUM_GPUS {
+                for y in 0..NUM_GPUS {
+                    let (x, y) = (GpuId(x), GpuId(y));
+                    prop_assert_eq!(
+                        ocs.gpus_connected(x, y, probe),
+                        reference.gpus_connected(x, y, probe)
+                    );
+                    prop_assert_eq!(ocs.gpu_ready_time(x, y), reference.gpu_ready_time(x, y));
+                    prop_assert_eq!(
+                        ocs.circuits_between_gpus(x, y, probe),
+                        reference.circuits_between_gpus(x, y, probe)
+                    );
+                }
+            }
+            // Per-circuit ready times.
+            for (c, &ready) in reference.circuits.iter() {
+                prop_assert_eq!(ocs.ready_time(c.a(), c.b()), Some(ready));
+                prop_assert_eq!(ocs.is_connected(c.a(), c.b(), ready), true);
+            }
+        }
+    }
+}
