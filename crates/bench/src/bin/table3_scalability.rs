@@ -7,24 +7,38 @@
 //! ```text
 //! table3_scalability [--gpus 1024,4096,10240,102400] [--iterations 2]
 //!                    [--parallel-threads N] [--policy electrical|optical|both]
-//!                    [--skip-sim]
+//!                    [--scenario clean|rail-flap|two-job] [--skip-sim]
 //! ```
 //!
 //! `--gpus` accepts a comma-separated list of cluster sizes (positive multiples of
 //! 64); the default runs the 1024-GPU point so the binary stays interactive, and the
 //! CI scale-smoke steps run the 1k point sequentially, the 10k point with
-//! `--parallel-threads`, and the 10k point with `--policy optical` under
-//! `timeout 120`. The full paper regime is `--gpus 1024,4096,10240`;
-//! `--gpus 102400` exercises the 100k-GPU ceiling (interned DAG + dense controller
-//! state + port-indexed OCS matching; see EXPERIMENTS.md for the memory budget).
-//! `--parallel-threads N` steps each head time-slice on N scoped worker threads —
-//! results are byte-identical for any N. `--policy` restricts a point to one network
-//! policy (the default runs the electrical baseline and the provisioned optical
-//! policy back to back). `--skip-sim` prints only the OCS technology table.
+//! `--parallel-threads`, the 10k point with `--policy optical`, and the 1k
+//! `rail-flap` / `two-job` scenario points under `timeout 120`. The full paper regime
+//! is `--gpus 1024,4096,10240`; `--gpus 102400` exercises the 100k-GPU ceiling
+//! (interned DAG + dense controller state + port-indexed OCS matching; see
+//! EXPERIMENTS.md for the memory budget). `--parallel-threads N` steps each head
+//! time-slice on N scoped worker threads — results are byte-identical for any N.
+//! `--policy` restricts a point to one network policy (the default runs the
+//! electrical baseline and the provisioned optical policy back to back).
+//!
+//! `--scenario` selects what runs at each scale point (all three land in
+//! `results/table3_scale.json`, tagged by the `scenario` field):
+//!
+//! * `clean` (default) — the classic single pristine job.
+//! * `rail-flap` — the same job, plus a `RailDown(rail0)` → `RailUp` pulse a quarter
+//!   into iteration 1 lasting half an iteration; the clean reference point is
+//!   emitted alongside so the JSON carries the inflation.
+//! * `two-job` — two half-size jobs packed side by side on the shared rails (needs a
+//!   GPU count that is a positive multiple of 128); one row per job, fleet-level
+//!   cross-job overlap counters attached.
+//!
+//! `--skip-sim` prints only the OCS technology table.
 
-use opus::{baseline_of, OpusConfig, OpusSimulator};
+use opus::{baseline_of, OpusConfig, Scenario, ScenarioEvent, ScenarioResult};
 use railsim_bench::{mem, scale_run_config, scaled_cluster, scaled_dag, Report};
 use railsim_cost::ocs_tech::{ocs_technologies, scaleup};
+use railsim_topology::RailId;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -33,6 +47,12 @@ use std::time::Instant;
 struct ScaleRun {
     num_gpus: u32,
     num_rails: u32,
+    /// Which scenario produced the point: `clean`, `rail-flap` or `two-job`.
+    scenario: &'static str,
+    /// The job this row describes (0 except in multi-job scenarios).
+    job: u32,
+    /// Number of jobs sharing the fabric in this run.
+    num_jobs: u32,
     event_shards: usize,
     parallel_threads: u32,
     policy: &'static str,
@@ -40,9 +60,18 @@ struct ScaleRun {
     iterations: u32,
     steady_iteration_time_s: f64,
     total_reconfigs: usize,
+    /// Total circuit/outage wait of the job across all iterations, in seconds.
+    circuit_wait_s: f64,
+    /// Injected rail failures applied during the run (0 for clean runs).
+    rail_failures: u64,
+    /// Cross-job rail-overlap contention events, summed over rails (0 unless the
+    /// scenario runs several jobs).
+    cross_job_overlaps: u64,
+    /// Wall clock of the whole scenario run this row came from (shared by every row
+    /// of a multi-job run).
     wall_clock_s: f64,
     events_per_sec: f64,
-    /// Peak resident set over DAG build + every policy run of this GPU count that the
+    /// Peak resident set over DAG build + every run of this GPU count that the
     /// `--policy` filter selected, in MiB (kernel `VmHWM`, reset per scale point
     /// where the platform allows; `None` when procfs is unavailable).
     peak_rss_mib: Option<f64>,
@@ -63,50 +92,98 @@ enum PolicyFilter {
     Both,
 }
 
-fn parse_args() -> (Vec<u32>, u32, u32, PolicyFilter, bool) {
-    let mut gpus = vec![1024u32];
-    let mut iterations = 2u32;
-    let mut parallel_threads = 1u32;
-    let mut policy = PolicyFilter::Both;
-    let mut skip_sim = false;
+/// What runs at each scale point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScenarioKind {
+    Clean,
+    RailFlap,
+    TwoJob,
+}
+
+impl ScenarioKind {
+    fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Clean => "clean",
+            ScenarioKind::RailFlap => "rail-flap",
+            ScenarioKind::TwoJob => "two-job",
+        }
+    }
+}
+
+struct Args {
+    gpus: Vec<u32>,
+    iterations: u32,
+    parallel_threads: u32,
+    policy: PolicyFilter,
+    scenario: ScenarioKind,
+    skip_sim: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        gpus: vec![1024u32],
+        iterations: 2,
+        parallel_threads: 1,
+        policy: PolicyFilter::Both,
+        scenario: ScenarioKind::Clean,
+        skip_sim: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--gpus" => {
                 let list = args.next().expect("--gpus needs a comma-separated list");
-                gpus = list
+                parsed.gpus = list
                     .split(',')
                     .map(|s| s.trim().parse().expect("--gpus entries must be integers"))
                     .collect();
             }
             "--iterations" => {
-                iterations = args
+                parsed.iterations = args
                     .next()
                     .expect("--iterations needs a value")
                     .parse()
                     .expect("--iterations must be an integer");
+                assert!(parsed.iterations > 0, "--iterations must be positive");
             }
             "--parallel-threads" => {
-                parallel_threads = args
+                parsed.parallel_threads = args
                     .next()
                     .expect("--parallel-threads needs a value")
                     .parse()
                     .expect("--parallel-threads must be an integer");
-                assert!(parallel_threads > 0, "--parallel-threads must be positive");
+                assert!(
+                    parsed.parallel_threads > 0,
+                    "--parallel-threads must be positive"
+                );
             }
             "--policy" => {
-                policy = match args.next().expect("--policy needs a value").as_str() {
+                parsed.policy = match args.next().expect("--policy needs a value").as_str() {
                     "electrical" => PolicyFilter::Electrical,
                     "optical" => PolicyFilter::Optical,
                     "both" => PolicyFilter::Both,
                     other => panic!("--policy must be electrical, optical or both, got {other}"),
                 };
             }
-            "--skip-sim" => skip_sim = true,
+            "--scenario" => {
+                parsed.scenario = match args.next().expect("--scenario needs a value").as_str() {
+                    "clean" => ScenarioKind::Clean,
+                    "rail-flap" => ScenarioKind::RailFlap,
+                    "two-job" => ScenarioKind::TwoJob,
+                    other => panic!("--scenario must be clean, rail-flap or two-job, got {other}"),
+                };
+            }
+            "--skip-sim" => parsed.skip_sim = true,
             other => panic!("unknown argument {other}; see the crate docs"),
         }
     }
-    (gpus, iterations, parallel_threads, policy, skip_sim)
+    // The rail-flap pulse is placed relative to iteration 1, so only that scenario
+    // needs a second iteration; clean and two-job runs stay valid with one.
+    assert!(
+        parsed.scenario != ScenarioKind::RailFlap || parsed.iterations >= 2,
+        "--scenario rail-flap places its pulse relative to iteration 1; run at least 2 iterations"
+    );
+    parsed
 }
 
 fn tech_table() {
@@ -138,22 +215,85 @@ fn tech_table() {
     Report::write_json("table3_scalability", &techs);
 }
 
+/// Flattens one scenario run into JSON rows (one per job).
+#[allow(clippy::too_many_arguments)]
+fn rows_of(
+    result: &ScenarioResult,
+    num_gpus: u32,
+    num_rails: u32,
+    scenario: &'static str,
+    event_shards: usize,
+    parallel_threads: u32,
+    policy: &'static str,
+    dag_tasks: usize,
+    iterations: u32,
+    wall_clock_s: f64,
+) -> Vec<ScaleRun> {
+    let total_tasks: usize = dag_tasks * result.jobs.len();
+    let events = 2.0 * total_tasks as f64 * iterations as f64;
+    result
+        .jobs
+        .iter()
+        .map(|job| ScaleRun {
+            num_gpus,
+            num_rails,
+            scenario,
+            job: job.job.0,
+            num_jobs: result.jobs.len() as u32,
+            event_shards,
+            parallel_threads,
+            policy,
+            dag_tasks,
+            iterations,
+            steady_iteration_time_s: job.result.steady_state_iteration_time().as_secs_f64(),
+            total_reconfigs: job.result.total_reconfigs(),
+            circuit_wait_s: job
+                .result
+                .iterations
+                .iter()
+                .map(|i| i.total_circuit_wait.as_secs_f64())
+                .sum(),
+            rail_failures: result.fleet.rail_failures.iter().sum(),
+            cross_job_overlaps: result.fleet.cross_job_rail_overlaps.iter().sum(),
+            wall_clock_s,
+            events_per_sec: events / wall_clock_s.max(1e-9),
+            peak_rss_mib: None, // filled in once the whole point has run
+            circuits_set_up_by_rail: result.fleet.circuits_set_up_by_rail.clone(),
+            circuits_torn_down_by_rail: result.fleet.circuits_torn_down_by_rail.clone(),
+        })
+        .collect()
+}
+
 fn run_scale_point(
     num_gpus: u32,
     iterations: u32,
     parallel_threads: u32,
     policy: PolicyFilter,
+    scenario: ScenarioKind,
 ) -> Vec<ScaleRun> {
     // Reset the kernel's peak-RSS watermark so this point's reading covers only its
     // own DAG + simulator state (best-effort; cumulative where unsupported).
     mem::reset_peak_rss();
     let cluster = scaled_cluster(num_gpus);
+    let num_rails = cluster.num_rails();
+    let job_gpus = match scenario {
+        ScenarioKind::TwoJob => {
+            assert!(
+                num_gpus.is_multiple_of(128),
+                "--scenario two-job packs two half-size jobs; the GPU count must be a \
+                 positive multiple of 128, got {num_gpus}"
+            );
+            num_gpus / 2
+        }
+        _ => num_gpus,
+    };
     let build_start = Instant::now();
-    let dag = scaled_dag(num_gpus);
+    let dag = scaled_dag(job_gpus);
     let dag_tasks = dag.len();
     eprintln!(
-        "[{num_gpus} GPUs] built {dag_tasks}-task DAG in {:.2}s",
-        build_start.elapsed().as_secs_f64()
+        "[{num_gpus} GPUs] built {dag_tasks}-task DAG in {:.2}s ({})",
+        build_start.elapsed().as_secs_f64(),
+        scenario.name(),
     );
 
     let mut provisioned = scale_run_config(iterations);
@@ -167,47 +307,119 @@ fn run_scale_point(
     if policy != PolicyFilter::Electrical {
         configs.push(("optical provisioned 25ms", provisioned));
     }
-    let last = configs.len() - 1;
-    // The last policy takes ownership of the DAG: at 10k GPUs a deep clone of the
-    // ~900k-task arena is seconds of memcpy and a transient double-memory spike.
+    // Move the DAG into its final use instead of cloning it everywhere: at 100k
+    // GPUs a deep clone of the ~8.9M-task arena is seconds of memcpy and a
+    // transient double-memory spike that would dominate the reported peak RSS.
+    let uses_per_config = match scenario {
+        ScenarioKind::Clean => 1,
+        ScenarioKind::RailFlap | ScenarioKind::TwoJob => 2,
+    };
+    let total_uses = configs.len() * uses_per_config;
     let mut dag = Some(dag);
-    let mut runs = Vec::new();
-    for (i, (policy, config)) in configs.into_iter().enumerate() {
-        let this_dag = if i == last {
-            dag.take().expect("each config consumes the DAG once")
+    let mut used = 0usize;
+    let mut next_dag = move |dag: &mut Option<railsim_workload::TrainingDag>| {
+        used += 1;
+        if used == total_uses {
+            dag.take().expect("each use consumes the DAG once")
         } else {
             dag.as_ref().expect("DAG still owned").clone()
-        };
-        let wall = Instant::now();
-        let mut sim = OpusSimulator::new(cluster.clone(), this_dag, config);
-        let result = sim.run();
-        let wall_clock_s = wall.elapsed().as_secs_f64();
-        // Ready + Done per task per iteration.
-        let events = 2.0 * dag_tasks as f64 * iterations as f64;
-        let fabric = sim.controller().map(|c| c.fabric());
-        let circuits_set_up_by_rail = fabric
-            .map(|f| f.circuits_set_up_by_rail())
-            .unwrap_or_default();
-        let circuits_torn_down_by_rail = fabric
-            .map(|f| f.circuits_torn_down_by_rail())
-            .unwrap_or_default();
-        runs.push(ScaleRun {
-            num_gpus,
-            num_rails: cluster.num_rails(),
-            event_shards: sim.num_event_shards(),
-            parallel_threads,
-            policy,
-            dag_tasks,
-            iterations,
-            steady_iteration_time_s: result.steady_state_iteration_time().as_secs_f64(),
-            total_reconfigs: result.total_reconfigs(),
-            wall_clock_s,
-            events_per_sec: events / wall_clock_s.max(1e-9),
-            peak_rss_mib: None, // filled in once the whole point has run
-            circuits_set_up_by_rail,
-            circuits_torn_down_by_rail,
-        });
-        eprintln!("[{num_gpus} GPUs] {policy}: {wall_clock_s:.2}s wall clock");
+        }
+    };
+    let mut runs = Vec::new();
+    for (policy_name, config) in configs {
+        match scenario {
+            ScenarioKind::Clean => {
+                let wall = Instant::now();
+                let result = Scenario::new(cluster.clone())
+                    .job(next_dag(&mut dag), config)
+                    .run();
+                let wall_clock_s = wall.elapsed().as_secs_f64();
+                runs.extend(rows_of(
+                    &result,
+                    num_gpus,
+                    num_rails,
+                    "clean",
+                    num_rails as usize,
+                    parallel_threads,
+                    policy_name,
+                    dag_tasks,
+                    iterations,
+                    wall_clock_s,
+                ));
+                eprintln!("[{num_gpus} GPUs] {policy_name}: {wall_clock_s:.2}s wall clock");
+            }
+            ScenarioKind::RailFlap => {
+                // The clean reference run both calibrates the pulse (a quarter into
+                // iteration 1, half an iteration long) and lands in the JSON so the
+                // inflation is computable from the artifact alone.
+                let wall = Instant::now();
+                let clean = Scenario::new(cluster.clone())
+                    .job(next_dag(&mut dag), config)
+                    .run();
+                let clean_wall = wall.elapsed().as_secs_f64();
+                let it1 = &clean.jobs[0].result.iterations[1];
+                let down = it1.started_at + it1.iteration_time.mul_f64(0.25);
+                let up = down + it1.iteration_time.mul_f64(0.5);
+                let wall = Instant::now();
+                let flapped = Scenario::new(cluster.clone())
+                    .job(next_dag(&mut dag), config)
+                    .inject(down, ScenarioEvent::RailDown(RailId(0)))
+                    .inject(up, ScenarioEvent::RailUp(RailId(0)))
+                    .run();
+                let flap_wall = wall.elapsed().as_secs_f64();
+                runs.extend(rows_of(
+                    &clean,
+                    num_gpus,
+                    num_rails,
+                    "clean",
+                    num_rails as usize,
+                    parallel_threads,
+                    policy_name,
+                    dag_tasks,
+                    iterations,
+                    clean_wall,
+                ));
+                runs.extend(rows_of(
+                    &flapped,
+                    num_gpus,
+                    num_rails,
+                    "rail-flap",
+                    num_rails as usize,
+                    parallel_threads,
+                    policy_name,
+                    dag_tasks,
+                    iterations,
+                    flap_wall,
+                ));
+                eprintln!(
+                    "[{num_gpus} GPUs] {policy_name}: clean {clean_wall:.2}s + rail-flap \
+                     {flap_wall:.2}s wall clock"
+                );
+            }
+            ScenarioKind::TwoJob => {
+                let wall = Instant::now();
+                let job_a = next_dag(&mut dag);
+                let job_b = next_dag(&mut dag);
+                let result = Scenario::new(cluster.clone())
+                    .job(job_a, config)
+                    .job(job_b, config)
+                    .run();
+                let wall_clock_s = wall.elapsed().as_secs_f64();
+                runs.extend(rows_of(
+                    &result,
+                    num_gpus,
+                    num_rails,
+                    "two-job",
+                    num_rails as usize,
+                    parallel_threads,
+                    policy_name,
+                    dag_tasks,
+                    iterations,
+                    wall_clock_s,
+                ));
+                eprintln!("[{num_gpus} GPUs] {policy_name} two-job: {wall_clock_s:.2}s wall clock");
+            }
+        }
     }
     let peak = mem::peak_rss_mib();
     if let Some(mib) = peak {
@@ -220,9 +432,9 @@ fn run_scale_point(
 }
 
 fn main() {
-    let (gpus, iterations, parallel_threads, policy, skip_sim) = parse_args();
+    let args = parse_args();
     tech_table();
-    if skip_sim {
+    if args.skip_sim {
         return;
     }
 
@@ -230,41 +442,42 @@ fn main() {
         "Table 3 (simulated) — sharded-engine scalability runs",
         &[
             "# GPUs",
+            "Scenario",
+            "Job",
             "Policy",
             "DAG tasks",
-            "Shards",
             "Threads",
             "Iter time (s)",
             "Reconfigs",
-            "Circ up/down",
+            "Circ wait (s)",
+            "Fails",
+            "Overlaps",
             "Wall clock (s)",
-            "Events/s",
             "Peak RSS (MiB)",
         ],
     );
     let mut all_runs = Vec::new();
-    for &n in &gpus {
-        for run in run_scale_point(n, iterations, parallel_threads, policy) {
-            let churn = if run.circuits_set_up_by_rail.is_empty() {
-                "-".to_string()
-            } else {
-                format!(
-                    "{}/{}",
-                    run.circuits_set_up_by_rail.iter().sum::<u64>(),
-                    run.circuits_torn_down_by_rail.iter().sum::<u64>()
-                )
-            };
+    for &n in &args.gpus {
+        for run in run_scale_point(
+            n,
+            args.iterations,
+            args.parallel_threads,
+            args.policy,
+            args.scenario,
+        ) {
             report.row(&[
                 run.num_gpus.to_string(),
+                run.scenario.to_string(),
+                run.job.to_string(),
                 run.policy.to_string(),
                 run.dag_tasks.to_string(),
-                run.event_shards.to_string(),
                 run.parallel_threads.to_string(),
                 format!("{:.3}", run.steady_iteration_time_s),
                 run.total_reconfigs.to_string(),
-                churn,
+                format!("{:.3}", run.circuit_wait_s),
+                run.rail_failures.to_string(),
+                run.cross_job_overlaps.to_string(),
                 format!("{:.2}", run.wall_clock_s),
-                format!("{:.0}", run.events_per_sec),
                 run.peak_rss_mib
                     .map_or_else(|| "n/a".to_string(), |m| format!("{m:.0}")),
             ]);
@@ -273,7 +486,8 @@ fn main() {
     }
     report.note("DGX H200 nodes, TP=8 / PP=8 / FSDP over the rest, 8 micro-batches, 1F1B");
     report.note("full paper regime: --gpus 1024,4096,10240; 100k ceiling: --gpus 102400 (see EXPERIMENTS.md)");
-    let policies_note = match policy {
+    report.note("scenarios: clean | rail-flap (RailDown pulse in iteration 1, clean reference emitted too) | two-job (two half-size jobs on shared rails)");
+    let policies_note = match args.policy {
         PolicyFilter::Electrical => "the electrical run",
         PolicyFilter::Optical => "the optical run",
         PolicyFilter::Both => "both policies",
@@ -281,7 +495,7 @@ fn main() {
     report.note(format!(
         "peak RSS covers DAG build + {policies_note} of the GPU count (VmHWM, reset per point)"
     ));
-    report.note("circ up/down: lifetime circuits set up / torn down (per-rail split in the JSON)");
+    report.note("per-rail circuit churn split is in the JSON (circuits_set_up_by_rail / circuits_torn_down_by_rail)");
     println!();
     report.print();
     Report::write_json("table3_scale", &all_runs);

@@ -203,6 +203,33 @@ impl OpusController {
         ready
     }
 
+    /// Handles a rail failure: tears down every circuit on the rail's OCS (the light
+    /// path is gone, whatever group owned it). Returns how many circuits were lost.
+    /// Tearing down bumps the fabric's circuit epoch, so any pre-evaluated
+    /// install-ready answer for a group touching this rail is withdrawn — the next
+    /// request for such a group takes the full install path and pays the
+    /// reconfiguration delay after recovery.
+    pub fn rail_failed(&mut self, rail: RailId) -> usize {
+        let ocs = self.fabric.ocs_mut(rail);
+        let lost = ocs.num_circuits();
+        ocs.clear();
+        lost
+    }
+
+    /// Sets one rail's OCS reconfiguration delay (an `OcsDegraded` scenario injection:
+    /// the switch still works, but reconfigures slower — or faster, after repair).
+    /// Installed circuits and their ready times are untouched.
+    pub fn set_rail_reconfig_delay(&mut self, rail: RailId, delay: railsim_sim::SimDuration) {
+        self.fabric.ocs_mut(rail).set_reconfig_delay(delay);
+    }
+
+    /// Drains the reconfiguration log into `out`, preserving order and the log's
+    /// allocation. Scenario drivers call this after every committed event to attribute
+    /// reconfigurations to the job whose request caused them.
+    pub fn drain_events_into(&mut self, out: &mut Vec<ReconfigEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// Records that the group's circuits carry traffic until `until`, blocking any
     /// conflicting reconfiguration before then.
     pub fn occupy(&mut self, circuits: &GroupCircuits, until: SimTime) {

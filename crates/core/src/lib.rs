@@ -19,15 +19,19 @@
 //! * [`OpusController`] — receives (possibly speculative) reconfiguration requests,
 //!   avoids conflicts with ongoing traffic (FC-FS over the job's sequentially ordered
 //!   demands), programs the per-rail OCSes and acknowledges when circuits settle.
-//! * [`OpusSimulator`] — executes a [`railsim_workload::TrainingDag`] over a cluster
-//!   under the electrical baseline, on-demand optical, or provisioned optical policy,
-//!   producing the timings behind Fig. 3, Fig. 4 and Fig. 8.
+//! * [`Scenario`] — the simulation entry point: places one or more jobs on a shared
+//!   cluster, injects external events (rail failures/recoveries, OCS degradation,
+//!   late job arrivals) and reports per-job metrics plus fleet-level rail counters.
+//! * [`OpusSimulator`] — the single-job wrapper over [`Scenario`]: executes one
+//!   [`railsim_workload::TrainingDag`] over a cluster under the electrical baseline,
+//!   on-demand optical, or provisioned optical policy, producing the timings behind
+//!   Fig. 3, Fig. 4 and Fig. 8.
 //! * [`window`] — the inter-parallelism window analysis of §3.1 / Fig. 4.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use opus::{OpusConfig, OpusSimulator};
+//! use opus::{OpusConfig, Scenario};
 //! use railsim_sim::SimDuration;
 //! use railsim_topology::{ClusterSpec, NodePreset};
 //! use railsim_workload::{ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig};
@@ -39,11 +43,14 @@
 //! let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
 //! let dag = DagBuilder::new(model, parallel, compute).build();
 //!
-//! // Photonic rails with a 25 ms piezo OCS and provisioning, 2 iterations.
+//! // Photonic rails with a 25 ms piezo OCS and provisioning, 2 iterations, driven
+//! // through the scenario entry point (see [`scenario`] for fault injection and
+//! // multi-job placement).
 //! let config = OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2);
-//! let mut sim = OpusSimulator::new(cluster, dag, config);
-//! let result = sim.run();
-//! assert!(result.steady_state_iteration_time() > SimDuration::ZERO);
+//! let result = Scenario::new(cluster).job(dag, config).run();
+//! assert!(
+//!     result.jobs[0].result.steady_state_iteration_time() > SimDuration::ZERO
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,6 +61,7 @@ pub mod config;
 pub mod controller;
 pub mod group_table;
 pub mod metrics;
+pub mod scenario;
 pub mod shim;
 pub mod simulation;
 pub mod window;
@@ -63,6 +71,9 @@ pub use config::{HostOffload, OpusConfig, ReconfigPolicy};
 pub use controller::OpusController;
 pub use group_table::{GroupEntry, GroupTable};
 pub use metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
+pub use scenario::{
+    FleetMetrics, JobPlacement, JobResult, Scenario, ScenarioEvent, ScenarioResult,
+};
 pub use shim::{OpusShim, ShimProfile};
 pub use simulation::{baseline_of, run_policies, OpusSimulator};
 pub use window::{

@@ -1,0 +1,1728 @@
+//! The scenario driver: multi-job, fault-injecting simulations.
+//!
+//! [`Scenario`] is the redesigned entry point of the simulator. Where
+//! [`OpusSimulator`](crate::OpusSimulator) runs *one* pristine job to completion, a
+//! scenario places any number of jobs on one shared cluster, injects external events
+//! (rail failures and recoveries, OCS degradation, late job arrivals) at scheduled
+//! times, and reports per-job metrics plus fleet-level rail counters:
+//!
+//! ```
+//! use opus::{OpusConfig, Scenario, ScenarioEvent};
+//! use railsim_sim::{SimDuration, SimTime};
+//! use railsim_topology::{ClusterSpec, NodePreset, RailId};
+//! use railsim_workload::{ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig};
+//!
+//! let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
+//! let model = ModelConfig::tiny_test();
+//! let parallel = ParallelismConfig::paper_llama3_8b();
+//! let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+//! let dag = DagBuilder::new(model, parallel, compute).build();
+//!
+//! let config = OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2);
+//! let result = Scenario::new(cluster)
+//!     .job(dag, config)
+//!     .inject(SimTime::from_millis(5), ScenarioEvent::RailDown(RailId(0)))
+//!     .inject(SimTime::from_millis(80), ScenarioEvent::RailUp(RailId(0)))
+//!     .run();
+//! assert_eq!(result.jobs.len(), 1);
+//! assert_eq!(result.fleet.injections_applied, 2);
+//! ```
+//!
+//! ## Execution model
+//!
+//! Every job keeps its own context — DAG, group/circuit tables, shim, RNG stream,
+//! iteration state — while the discrete-event engine, the rail fabric (one OCS per
+//! rail under an optical policy) and the rail health state are shared fleet-wide.
+//! All events, from every job and from the injected timeline, multiplex over one
+//! [`ShardedEngine`] and commit in the engine's global `(time, seq)` order, so
+//! scenario results are byte-identical for any shard or worker-thread count, exactly
+//! like single-job runs.
+//!
+//! Injected events are scheduled before any task event, so an injection at time `T`
+//! always applies *before* every task event at `T` (task events carry later sequence
+//! numbers). Two injections at the same time apply in the order they were declared.
+//!
+//! ## Failure and recovery model
+//!
+//! `RailDown(r)` marks rail `r` unhealthy and tears down every circuit on its OCS.
+//! Transfers already in flight on the rail complete (the model is optimistic about
+//! in-flight traffic; see EXPERIMENTS.md); *new* transfers that need the rail wait
+//! for `RailUp(r)` — under an optical policy they then also pay a fresh install of
+//! their circuits, because the failure destroyed the matching. A rail that fails with
+//! no scheduled recovery makes any job that still needs it panic with a diagnostic:
+//! scenarios are declared up front, so an unsatisfiable timeline is a scenario bug,
+//! not a simulation outcome.
+
+use crate::circuits::{CircuitPlanner, GroupCircuits};
+use crate::config::OpusConfig;
+use crate::config::ReconfigPolicy;
+use crate::controller::OpusController;
+use crate::group_table::GroupTable;
+use crate::metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
+use crate::shim::OpusShim;
+use railsim_collectives::{
+    cost::{collective_time, CostParams},
+    CollectiveKind, CommGroup, GroupId, ParallelismAxis,
+};
+use railsim_sim::{ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
+use railsim_topology::{
+    Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity, RailHealth, RailId,
+};
+use railsim_workload::{JobId, LabelId, RankSet, TaskId, TaskKind, TrainingDag};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// An external event injected into a scenario's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioEvent {
+    /// The rail fails: its switch stops carrying traffic and (under an optical
+    /// policy) every circuit on its OCS is torn down.
+    RailDown(RailId),
+    /// The rail recovers. Circuits are *not* restored — the next request that needs
+    /// the rail reinstalls them, paying the reconfiguration delay.
+    RailUp(RailId),
+    /// The rail's OCS degrades (or is repaired): its reconfiguration delay becomes
+    /// `reconfig_latency` from this point on. Installed circuits are untouched.
+    OcsDegraded {
+        /// The affected rail.
+        rail: RailId,
+        /// The new reconfiguration delay of that rail's OCS.
+        reconfig_latency: SimDuration,
+    },
+    /// The job starts at this point instead of at time zero. A job with a
+    /// `JobArrival` injection anywhere in the timeline does not start on its own.
+    JobArrival {
+        /// The arriving job (its index in declaration order).
+        job: JobId,
+    },
+}
+
+/// Where a job's ranks land in the shared cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobPlacement {
+    /// Pack the job onto the first free node boundary after every previously
+    /// declared job (job 0 starts at GPU 0).
+    #[default]
+    Auto,
+    /// Place the job's rank 0 on this GPU. Node-aligned offsets keep the job's rail
+    /// mapping identical to a standalone run; overlapping placements are allowed and
+    /// model GPU-sharing tenancy (the fleet counters report port takeovers).
+    AtGpu(u32),
+}
+
+/// One job declaration: the DAG, its configuration and its placement.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    dag: TrainingDag,
+    config: OpusConfig,
+    placement: JobPlacement,
+}
+
+/// Builder for a multi-job, fault-injecting simulation on one shared cluster.
+///
+/// See the [module docs](self) for the execution model. Jobs are identified by
+/// [`JobId`] in declaration order; injections may be declared in any order (they are
+/// sorted by time, declaration order breaking ties).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    cluster: Cluster,
+    jobs: Vec<JobSpec>,
+    injections: Vec<(SimTime, ScenarioEvent)>,
+}
+
+impl Scenario {
+    /// Starts a scenario on `cluster`.
+    pub fn new(cluster: Cluster) -> Self {
+        Scenario {
+            cluster,
+            jobs: Vec::new(),
+            injections: Vec::new(),
+        }
+    }
+
+    /// Adds a job with automatic placement (packed after the previous job, node
+    /// aligned). Returns the builder; the job's id is [`JobId`] of its declaration
+    /// index.
+    pub fn job(self, dag: TrainingDag, config: OpusConfig) -> Self {
+        self.job_placed(dag, config, JobPlacement::Auto)
+    }
+
+    /// Adds a job with an explicit placement.
+    pub fn job_placed(mut self, dag: TrainingDag, config: OpusConfig, at: JobPlacement) -> Self {
+        self.jobs.push(JobSpec {
+            dag,
+            config,
+            placement: at,
+        });
+        self
+    }
+
+    /// Injects an external event at the given absolute time.
+    pub fn inject(mut self, at: SimTime, event: ScenarioEvent) -> Self {
+        self.injections.push((at, event));
+        self
+    }
+
+    /// Number of jobs declared so far.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Builds and runs the scenario to completion.
+    ///
+    /// # Panics
+    /// Panics when the scenario is malformed: no jobs, an invalid DAG, a placement
+    /// outside the cluster, an injection on a nonexistent rail or job, inconsistent
+    /// optical reconfiguration latencies across jobs, or a timeline under which a job
+    /// cannot finish (a needed rail fails and never recovers).
+    pub fn run(self) -> ScenarioResult {
+        let mut sim = ScenarioSim::build(self);
+        sim.run_scenario();
+        sim.into_result()
+    }
+}
+
+/// One job's outcome in a [`ScenarioResult`].
+#[derive(Debug, Clone, Serialize)]
+pub struct JobResult {
+    /// The job (its declaration index).
+    pub job: JobId,
+    /// The GPU its rank 0 was placed on.
+    pub gpu_offset: u32,
+    /// The network policy it ran under.
+    pub policy: ReconfigPolicy,
+    /// Its per-iteration metrics, exactly as a standalone
+    /// [`OpusSimulator`](crate::OpusSimulator) run reports them.
+    pub result: SimulationResult,
+}
+
+/// Fleet-level counters aggregated across all jobs of a scenario (vectors are
+/// indexed by rail id).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetMetrics {
+    /// Total transfer time carried per rail (sum over scale-out transfers of their
+    /// duration, per rail they used).
+    pub rail_busy: Vec<SimDuration>,
+    /// Cross-job contention events per rail: a scale-out transfer started on the rail
+    /// while another job's transfer was still in flight on it.
+    pub cross_job_rail_overlaps: Vec<u64>,
+    /// NIC ports whose tenant changed: a job transferred over a port most recently
+    /// used by a different job (only possible with overlapping placements).
+    pub cross_job_port_takeovers: u64,
+    /// Lifetime circuits set up per rail (empty when no job ran an optical policy).
+    pub circuits_set_up_by_rail: Vec<u64>,
+    /// Lifetime circuits torn down per rail (empty when no job ran an optical policy).
+    pub circuits_torn_down_by_rail: Vec<u64>,
+    /// Injected failures per rail.
+    pub rail_failures: Vec<u64>,
+    /// Accumulated injected downtime per rail (closed outages only).
+    pub rail_downtime: Vec<SimDuration>,
+    /// Number of injected events that were applied.
+    pub injections_applied: usize,
+    /// The time of the last committed event — when the whole scenario finished.
+    pub makespan: SimTime,
+}
+
+/// The outcome of a scenario: per-job metrics plus fleet counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioResult {
+    /// One entry per declared job, in declaration order.
+    pub jobs: Vec<JobResult>,
+    /// Fleet-level rail utilization, contention and failure counters.
+    pub fleet: FleetMetrics,
+}
+
+impl ScenarioResult {
+    /// One job's outcome.
+    ///
+    /// # Panics
+    /// Panics if the job does not exist.
+    pub fn job(&self, id: JobId) -> &JobResult {
+        &self.jobs[id.index()]
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Internal machinery
+// ---------------------------------------------------------------------------------
+
+/// Events of the scenario's discrete-event simulation: per-job DAG execution plus the
+/// injected external timeline. External events are scheduled at build time, before
+/// any task event, so they sort ahead of every task event at the same timestamp in
+/// the engine's `(time, seq)` order.
+/// The job index rides in a `u16` so the whole event stays 8 bytes — the engine's
+/// heap entries are the hot path's working set, and a wider event measurably slows
+/// the 100k-GPU single-job regime. 65k concurrent jobs is far beyond any scenario.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// All dependencies of the job's task have completed.
+    Ready(u16, TaskId),
+    /// The job's task has finished executing.
+    Done(u16, TaskId),
+    /// The injected external event at this index of the (sorted) timeline.
+    External(u32),
+}
+
+/// One deduplicated circuit-demand entry: every task of a communication group shares
+/// this slot instead of owning a `GroupCircuits` clone (at 100k GPUs the per-task
+/// clones — a `BTreeMap` of circuit vectors each — dominated the simulator footprint).
+struct CircuitSlot {
+    group: GroupId,
+    /// Member count of the group (collective cost-model input).
+    group_size: u32,
+    circuits: GroupCircuits,
+}
+
+/// Sentinel slot index for tasks without circuit demand (compute tasks).
+const NO_SLOT: u32 = u32::MAX;
+
+/// Sentinel for "no job" in the fleet's per-port tenant table.
+const NO_JOB: u32 = u32::MAX;
+
+/// The pure, state-independent work of one event, evaluated concurrently on the
+/// parallel stepping path's worker threads before the event's commit turn.
+#[derive(Debug, Clone, Copy)]
+struct EventPlan {
+    /// The α–β cost-model transfer duration (None for compute tasks).
+    duration: Option<SimDuration>,
+    /// Optical install feasibility/ready-time evaluation: when the task's circuits
+    /// were fully installed at prep time, the controller's circuit epoch and the time
+    /// at which every circuit is ready. Commit honours it only while the epoch is
+    /// unchanged (no install — and no rail failure — happened in between), which
+    /// keeps results byte-identical to the sequential path; a stale or absent plan
+    /// falls back to the full controller request.
+    optical_ready: Option<(u64, SimTime)>,
+}
+
+/// One entry of the sorted injected timeline.
+struct Injection {
+    at: SimTime,
+    event: ScenarioEvent,
+    /// For `RailDown`: the time of the next `RailUp` of the same rail in the
+    /// timeline, precomputed so the health state can answer availability questions in
+    /// closed form.
+    recover_at: Option<SimTime>,
+}
+
+/// Per-job context: everything a standalone simulator used to own globally, now
+/// multiplexed over the shared engine and fabric.
+struct JobContext {
+    job: JobId,
+    gpu_offset: u32,
+    dag: TrainingDag,
+    config: OpusConfig,
+    group_table: GroupTable,
+    /// Deduplicated circuit demands; see [`CircuitSlot`].
+    circuit_pool: Vec<CircuitSlot>,
+    /// Per-task index into `circuit_pool` (`NO_SLOT` for compute tasks).
+    task_circuit_slot: Vec<u32>,
+    /// Reverse dependency edges in CSR layout.
+    dependents_off: Vec<u32>,
+    dependents: Vec<u32>,
+    /// Event-engine lane per task, derived from the task's rail affinity.
+    task_shard: Vec<ShardId>,
+    shim: OpusShim,
+    rng: SimRng,
+    /// True when a `JobArrival` injection starts this job (it does not start at 0).
+    arrives_via_event: bool,
+    // ---- live per-iteration state ----
+    iteration: u32,
+    iter_start: SimTime,
+    remaining: Vec<usize>,
+    finish: Vec<SimTime>,
+    comm_records: Vec<CommRecord>,
+    reconfig_events: Vec<ReconfigEvent>,
+    total_circuit_wait: SimDuration,
+    /// Done events of the current iteration still to commit.
+    done_left: usize,
+    completed: Vec<IterationResult>,
+}
+
+/// The scale-out network backend shared by every job of the scenario.
+enum SharedBackend {
+    Electrical(ElectricalRailFabric),
+    /// Optical policies share one controller (one OCS per rail); electrical jobs in
+    /// the same scenario use the bundled electrical fabric for their transfers.
+    Optical {
+        controller: Box<OpusController>,
+        electrical: ElectricalRailFabric,
+    },
+}
+
+impl SharedBackend {
+    fn controller(&self) -> Option<&OpusController> {
+        match self {
+            SharedBackend::Optical { controller, .. } => Some(controller),
+            SharedBackend::Electrical(_) => None,
+        }
+    }
+
+    fn controller_mut(&mut self) -> Option<&mut OpusController> {
+        match self {
+            SharedBackend::Optical { controller, .. } => Some(controller),
+            SharedBackend::Electrical(_) => None,
+        }
+    }
+
+    fn electrical(&self) -> &ElectricalRailFabric {
+        match self {
+            SharedBackend::Electrical(f) => f,
+            SharedBackend::Optical { electrical, .. } => electrical,
+        }
+    }
+}
+
+/// Fleet-wide shared state: the backend, rail health and the contention counters.
+struct Fleet {
+    backend: SharedBackend,
+    health: RailHealth,
+    /// True when the timeline contains rail failures (the per-transfer outage gate is
+    /// skipped entirely otherwise, keeping clean runs byte-identical and free).
+    faults: bool,
+    /// True when the scenario runs more than one job (enables tenant tracking).
+    multi_job: bool,
+    /// Last job to transfer over each NIC port (dense index), for tenant-takeover
+    /// accounting. Empty in single-job scenarios.
+    port_owner: Vec<u32>,
+    ports_per_gpu: u8,
+    rail_busy: Vec<SimDuration>,
+    /// Per rail: latest transfer end seen and the job that produced it.
+    rail_last: Vec<(SimTime, u32)>,
+    overlaps: Vec<u64>,
+    port_takeovers: u64,
+    injections_applied: usize,
+}
+
+impl Fleet {
+    /// Accounts one scale-out transfer for the cross-job fleet counters: overlap
+    /// detection and port-tenant takeovers. Only called in multi-job scenarios —
+    /// with one job both counters are structurally zero, and the single-job path is
+    /// the 100k-GPU perf-gated hot path, so it must not pay for fleet bookkeeping
+    /// (per-rail busy time is recovered from the committed records at collection
+    /// time instead; see [`ScenarioSim::into_result`]).
+    fn note_transfer(&mut self, job: u32, circuits: &GroupCircuits, start: SimTime, end: SimTime) {
+        for (&rail, config) in &circuits.per_rail {
+            let i = rail.index();
+            self.rail_busy[i] = self.rail_busy[i].saturating_add(end.duration_since(start));
+            let (last_end, last_job) = self.rail_last[i];
+            if start < last_end && last_job != job {
+                self.overlaps[i] += 1;
+            }
+            if end > last_end {
+                self.rail_last[i] = (end, job);
+            }
+            for circuit in config.circuits() {
+                for port in [circuit.a(), circuit.b()] {
+                    let slot = &mut self.port_owner[port.dense_index(self.ports_per_gpu)];
+                    if *slot != NO_JOB && *slot != job {
+                        self.port_takeovers += 1;
+                    }
+                    *slot = job;
+                }
+            }
+        }
+    }
+
+    /// The earliest time at or after `now` when every rail `circuits` needs is up.
+    /// Only called when the timeline contains failures.
+    ///
+    /// # Panics
+    /// Panics when a needed rail is down with no scheduled recovery — the job could
+    /// never finish, which makes the scenario unsatisfiable.
+    fn outage_gate(
+        &self,
+        circuits: &GroupCircuits,
+        now: SimTime,
+        job: JobId,
+        label: LabelId,
+    ) -> SimTime {
+        let mut gated = now;
+        for &rail in circuits.per_rail.keys() {
+            if let Some(avail) = self.health.available_from(rail) {
+                assert!(
+                    avail != SimTime::MAX,
+                    "{job} task {label} needs {rail}, which failed with no scheduled \
+                     recovery — the scenario timeline is unsatisfiable"
+                );
+                gated = gated.max(avail);
+            }
+        }
+        gated
+    }
+}
+
+/// The built, runnable scenario. `pub(crate)` so the single-job
+/// [`OpusSimulator`](crate::OpusSimulator) wrapper can drive it directly.
+pub(crate) struct ScenarioSim {
+    cluster: Cluster,
+    jobs: Vec<JobContext>,
+    fleet: Fleet,
+    injections: Vec<Injection>,
+    num_shards: usize,
+    threads: usize,
+    makespan: SimTime,
+}
+
+impl ScenarioSim {
+    /// Builds every job context and the shared fleet state.
+    pub(crate) fn build(scenario: Scenario) -> ScenarioSim {
+        let Scenario {
+            cluster,
+            jobs,
+            injections,
+        } = scenario;
+        assert!(!jobs.is_empty(), "a scenario needs at least one job");
+        assert!(
+            jobs.len() <= u16::MAX as usize,
+            "a scenario carries the job index in a u16 event field; {} jobs exceed it",
+            jobs.len()
+        );
+        let gpus_per_node = cluster.gpus_per_node().max(1);
+
+        // Sort the timeline by time (declaration order breaks ties) and precompute
+        // every RailDown's scheduled recovery.
+        let mut timeline: Vec<Injection> = {
+            let mut indexed: Vec<(usize, SimTime, ScenarioEvent)> = injections
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at, e))| (i, at, e))
+                .collect();
+            indexed.sort_by_key(|&(i, at, _)| (at, i));
+            indexed
+                .into_iter()
+                .map(|(_, at, event)| Injection {
+                    at,
+                    event,
+                    recover_at: None,
+                })
+                .collect()
+        };
+        for i in 0..timeline.len() {
+            if let ScenarioEvent::RailDown(rail) = timeline[i].event {
+                timeline[i].recover_at = timeline[i + 1..]
+                    .iter()
+                    .find(|inj| inj.event == ScenarioEvent::RailUp(rail))
+                    .map(|inj| inj.at);
+            }
+            match timeline[i].event {
+                ScenarioEvent::RailDown(rail)
+                | ScenarioEvent::RailUp(rail)
+                | ScenarioEvent::OcsDegraded { rail, .. } => {
+                    assert!(
+                        rail.0 < cluster.num_rails(),
+                        "injected event on {rail}, but the cluster only has {} rails",
+                        cluster.num_rails()
+                    );
+                }
+                ScenarioEvent::JobArrival { job } => {
+                    assert!(
+                        job.index() < jobs.len(),
+                        "JobArrival for {job}, but only {} jobs are declared",
+                        jobs.len()
+                    );
+                }
+            }
+        }
+        let faults = timeline
+            .iter()
+            .any(|inj| matches!(inj.event, ScenarioEvent::RailDown(_)));
+        let arriving: Vec<bool> = (0..jobs.len())
+            .map(|j| {
+                timeline.iter().any(|inj| {
+                    matches!(inj.event, ScenarioEvent::JobArrival { job } if job.index() == j)
+                })
+            })
+            .collect();
+
+        // Place and rebase the jobs. Job 0 keeps offset 0 / group-id offset 0 under
+        // automatic placement, so a single-job scenario is bit-for-bit the classic
+        // simulator (`rebase(0, 0)` is a plain clone).
+        let mut contexts = Vec::with_capacity(jobs.len());
+        let mut next_free_gpu = 0u32;
+        let mut next_group_id = 0u32;
+        let mut optical_latency: Option<SimDuration> = None;
+        for (j, spec) in jobs.into_iter().enumerate() {
+            spec.dag.validate().expect("training DAG must be valid");
+            let gpu_offset = match spec.placement {
+                JobPlacement::Auto => next_free_gpu.div_ceil(gpus_per_node) * gpus_per_node,
+                JobPlacement::AtGpu(offset) => offset,
+            };
+            let max_rank = spec.dag.max_rank();
+            assert!(
+                gpu_offset + max_rank < cluster.num_gpus(),
+                "job{j} places rank {max_rank} at GPU {} but the cluster only has {} GPUs",
+                gpu_offset + max_rank,
+                cluster.num_gpus()
+            );
+            let group_offset = if j == 0 { 0 } else { next_group_id };
+            // Move the DAG straight in when no rebase is needed — `rebase(0, 0)`
+            // would deep-clone a (potentially 100k-GPU, multi-million-task) arena.
+            let dag = if gpu_offset == 0 && group_offset == 0 {
+                spec.dag
+            } else {
+                spec.dag.rebase(gpu_offset, group_offset)
+            };
+            next_free_gpu = next_free_gpu.max(gpu_offset + max_rank + 1);
+            next_group_id = next_group_id.max(dag.groups.keys().next_back().map_or(0, |g| g.0 + 1));
+            if spec.config.policy.is_optical() {
+                let latency = spec.config.reconfig_latency;
+                match optical_latency {
+                    None => optical_latency = Some(latency),
+                    Some(existing) => assert_eq!(
+                        existing, latency,
+                        "all optical jobs of a scenario must agree on the OCS \
+                         reconfiguration latency (the fabric is shared)"
+                    ),
+                }
+            }
+            contexts.push(Self::build_job(
+                &cluster,
+                JobId(j as u32),
+                gpu_offset,
+                dag,
+                spec.config,
+                arriving[j],
+            ));
+        }
+
+        let num_shards = contexts
+            .iter()
+            .map(|c| c.config.event_shards.unwrap_or_else(|| cluster.num_rails()))
+            .max()
+            .unwrap_or(1)
+            .max(1) as usize;
+        // Shard folding happens at build time, against the scenario-wide lane count.
+        for ctx in &mut contexts {
+            for shard in &mut ctx.task_shard {
+                shard.0 %= num_shards as u32;
+            }
+        }
+        let threads = contexts
+            .iter()
+            .map(|c| c.config.parallel_threads.unwrap_or(1))
+            .max()
+            .unwrap_or(1)
+            .max(1) as usize;
+
+        let backend = match optical_latency {
+            Some(latency) => SharedBackend::Optical {
+                controller: Box::new(OpusController::new(OpticalRailFabric::for_cluster(
+                    &cluster, latency,
+                ))),
+                electrical: ElectricalRailFabric::for_cluster(&cluster),
+            },
+            None => SharedBackend::Electrical(ElectricalRailFabric::for_cluster(&cluster)),
+        };
+        let num_rails = cluster.num_rails() as usize;
+        let multi_job = contexts.len() > 1;
+        let dense_ports = if multi_job {
+            cluster.num_gpus() as usize * cluster.ports_per_gpu() as usize
+        } else {
+            0
+        };
+        let fleet = Fleet {
+            backend,
+            health: RailHealth::new(num_rails),
+            faults,
+            multi_job,
+            port_owner: vec![NO_JOB; dense_ports],
+            ports_per_gpu: cluster.ports_per_gpu(),
+            rail_busy: vec![SimDuration::ZERO; num_rails],
+            rail_last: vec![(SimTime::ZERO, NO_JOB); num_rails],
+            overlaps: vec![0; num_rails],
+            port_takeovers: 0,
+            injections_applied: 0,
+        };
+
+        ScenarioSim {
+            cluster,
+            jobs: contexts,
+            fleet,
+            injections: timeline,
+            num_shards,
+            threads,
+            makespan: SimTime::ZERO,
+        }
+    }
+
+    /// Builds one job's context (the tables the classic simulator built globally).
+    fn build_job(
+        cluster: &Cluster,
+        job: JobId,
+        gpu_offset: u32,
+        dag: TrainingDag,
+        config: OpusConfig,
+        arrives_via_event: bool,
+    ) -> JobContext {
+        let group_table = GroupTable::build(cluster, dag.groups.values());
+        let planner = CircuitPlanner::for_cluster(cluster);
+        let (circuit_pool, task_circuit_slot) =
+            Self::plan_task_circuits(cluster, &dag, &group_table, &planner);
+        let (dependents_off, dependents) = Self::build_dependents(&dag);
+        let task_shard = Self::assign_task_shards(cluster, &dag, &circuit_pool, &task_circuit_slot);
+        let rng = SimRng::new(config.seed);
+        let n = dag.tasks.len();
+        JobContext {
+            job,
+            gpu_offset,
+            dag,
+            config,
+            group_table,
+            circuit_pool,
+            task_circuit_slot,
+            dependents_off,
+            dependents,
+            task_shard,
+            shim: OpusShim::new(),
+            rng,
+            arrives_via_event,
+            iteration: 0,
+            iter_start: SimTime::ZERO,
+            remaining: Vec::with_capacity(n),
+            finish: vec![SimTime::ZERO; n],
+            comm_records: Vec::new(),
+            reconfig_events: Vec::new(),
+            total_circuit_wait: SimDuration::ZERO,
+            done_left: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Assigns every task to an event lane by rail affinity: communication tasks go to
+    /// the first rail their circuits touch, everything else to the rail of its first
+    /// participant (its local rank). The raw rail index is stored here; [`build`]
+    /// folds it onto the scenario-wide lane count afterwards. Shard choice is pure
+    /// load balancing — the engine's global-sequence merge keeps results
+    /// byte-identical for any assignment.
+    fn assign_task_shards(
+        cluster: &Cluster,
+        dag: &TrainingDag,
+        circuit_pool: &[CircuitSlot],
+        task_circuit_slot: &[u32],
+    ) -> Vec<ShardId> {
+        dag.tasks
+            .iter()
+            .map(|task| {
+                let slot = task_circuit_slot[task.id.0 as usize];
+                let rail = (slot != NO_SLOT)
+                    .then(|| {
+                        circuit_pool[slot as usize]
+                            .circuits
+                            .per_rail
+                            .keys()
+                            .next()
+                            .copied()
+                    })
+                    .flatten()
+                    .unwrap_or_else(|| cluster.rail_of(task.participants.first()));
+                ShardId(rail.0)
+            })
+            .collect()
+    }
+
+    /// Builds the reverse dependency edges in CSR layout (`(offsets, edges)`).
+    fn build_dependents(dag: &TrainingDag) -> (Vec<u32>, Vec<u32>) {
+        let n = dag.tasks.len();
+        let mut counts = vec![0u32; n + 1];
+        for task in &dag.tasks {
+            for dep in &task.deps {
+                counts[dep.0 as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u32; offsets[n] as usize];
+        for task in &dag.tasks {
+            for dep in &task.deps {
+                let c = &mut cursor[dep.0 as usize];
+                edges[*c as usize] = task.id.0;
+                *c += 1;
+            }
+        }
+        (offsets, edges)
+    }
+
+    /// Plans the circuit demand of every communication task, deduplicated into one
+    /// [`CircuitSlot`] per communication group (plus one per ad-hoc point-to-point
+    /// pair that belongs to no group). Returns the pool and the per-task slot index.
+    fn plan_task_circuits(
+        cluster: &Cluster,
+        dag: &TrainingDag,
+        table: &GroupTable,
+        planner: &CircuitPlanner,
+    ) -> (Vec<CircuitSlot>, Vec<u32>) {
+        // Groups partition the ranks of each axis, so `(axis, rank) -> group` is a
+        // function; index it once instead of scanning every group per point-to-point
+        // task (the scan was quadratic at the 10k-GPU scale: #p2p tasks x #groups).
+        let mut member_group: HashMap<(ParallelismAxis, GpuId), GroupId> = HashMap::new();
+        for g in dag.groups.values() {
+            for rank in &g.ranks {
+                member_group.insert((g.axis, *rank), g.id);
+            }
+        }
+        let mut pool: Vec<CircuitSlot> = Vec::new();
+        let mut slot_of_group: HashMap<GroupId, u32> = HashMap::new();
+        let mut task_slot = vec![NO_SLOT; dag.tasks.len()];
+        let mut group_slot = |pool: &mut Vec<CircuitSlot>, id: GroupId| -> u32 {
+            *slot_of_group.entry(id).or_insert_with(|| {
+                let circuits = table
+                    .circuits(id)
+                    .expect("communication group must be registered")
+                    .clone();
+                let slot = pool.len() as u32;
+                pool.push(CircuitSlot {
+                    group: id,
+                    group_size: dag.groups[&id].size() as u32,
+                    circuits,
+                });
+                slot
+            })
+        };
+        for task in dag.communication_tasks() {
+            let slot = match &task.kind {
+                TaskKind::Collective { group, .. } => group_slot(&mut pool, *group),
+                TaskKind::PointToPoint { src, dst, axis, .. } => {
+                    // A point-to-point transfer uses the circuits of the communication
+                    // group it belongs to (circuit allocation is per group, §5): find
+                    // the group on the same axis containing both endpoints, or fall
+                    // back to planning an ad-hoc pair.
+                    let group = member_group
+                        .get(&(*axis, *src))
+                        .filter(|id| member_group.get(&(*axis, *dst)) == Some(id));
+                    match group {
+                        Some(&id) => group_slot(&mut pool, id),
+                        None => {
+                            let pseudo = CommGroup::new(
+                                GroupId(u32::MAX - task.id.0),
+                                *axis,
+                                vec![*src, *dst],
+                            );
+                            let slot = pool.len() as u32;
+                            pool.push(CircuitSlot {
+                                group: pseudo.id,
+                                group_size: 2,
+                                circuits: planner.plan(cluster, &pseudo),
+                            });
+                            slot
+                        }
+                    }
+                }
+                TaskKind::Compute { .. } => unreachable!("communication_tasks filters compute"),
+            };
+            task_slot[task.id.0 as usize] = slot;
+        }
+        (pool, task_slot)
+    }
+
+    /// Number of event lanes the engine runs with.
+    pub(crate) fn num_event_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// One job's group table.
+    pub(crate) fn job_group_table(&self, job: usize) -> &GroupTable {
+        &self.jobs[job].group_table
+    }
+
+    /// One job's shim.
+    pub(crate) fn job_shim(&self, job: usize) -> &OpusShim {
+        &self.jobs[job].shim
+    }
+
+    /// The shared controller, when any job runs an optical policy.
+    pub(crate) fn controller(&self) -> Option<&OpusController> {
+        self.fleet.backend.controller()
+    }
+
+    /// Takes one job's completed iterations (used by the single-job wrapper to hand
+    /// the result out without cloning a multi-million-record vector).
+    pub(crate) fn take_job_result(&mut self, job: usize) -> SimulationResult {
+        SimulationResult {
+            iterations: std::mem::take(&mut self.jobs[job].completed),
+        }
+    }
+
+    /// Runs every job to completion, applying the injected timeline.
+    pub(crate) fn run_scenario(&mut self) {
+        let mut engine: ShardedEngine<SimEvent> = ShardedEngine::new(self.num_shards);
+        // External events first: they win every same-timestamp tie against task
+        // events (which are scheduled later and carry larger sequence numbers).
+        for (i, inj) in self.injections.iter().enumerate() {
+            engine.schedule_at(ShardId(0), inj.at, SimEvent::External(i as u32));
+        }
+        for j in 0..self.jobs.len() {
+            if !self.jobs[j].arrives_via_event {
+                self.start_iteration(j, SimTime::ZERO, &mut engine);
+            }
+        }
+
+        if self.threads > 1 {
+            // Parallel stepping: drain the head time-slice from every lane, evaluate
+            // the pure per-event work on scoped worker threads, then commit the
+            // stateful part sequentially in global `(time, seq)` order. The commit
+            // order equals the single-queue pop order, so results are byte-identical
+            // to the sequential path for any thread count.
+            loop {
+                let batch = {
+                    let sim = &*self;
+                    engine.pop_batch_parallel(self.threads, |_, _, ev| sim.prep_event(*ev))
+                };
+                let Some(batch) = batch else { break };
+                for (now, _, event, planned) in batch {
+                    self.commit_event(&mut engine, now, event, planned);
+                }
+            }
+        } else {
+            while let Some((now, event)) = engine.pop() {
+                self.commit_event(&mut engine, now, event, None);
+            }
+        }
+
+        assert_eq!(
+            engine.clamped_events(),
+            0,
+            "the scenario executor never schedules into the past; a clamp means the \
+             sharded merge delivered an event out of order"
+        );
+        for ctx in &self.jobs {
+            assert_eq!(
+                ctx.completed.len(),
+                ctx.config.iterations as usize,
+                "{} finished {} of {} iterations — it never arrived or was starved",
+                ctx.job,
+                ctx.completed.len(),
+                ctx.config.iterations
+            );
+        }
+        self.makespan = engine.now();
+    }
+
+    /// Collects the per-job and fleet results.
+    pub(crate) fn into_result(mut self) -> ScenarioResult {
+        let fabric = self.fleet.backend.controller().map(|c| c.fabric());
+        let circuits_set_up_by_rail = fabric
+            .map(|f| f.circuits_set_up_by_rail())
+            .unwrap_or_default();
+        let circuits_torn_down_by_rail = fabric
+            .map(|f| f.circuits_torn_down_by_rail())
+            .unwrap_or_default();
+        // Single-job scenarios skip the per-transfer fleet walk on the hot path;
+        // recover the per-rail busy time from the committed records instead (the sum
+        // is identical — every non-offloaded scale-out record names its rails).
+        if !self.fleet.multi_job {
+            for it in self.jobs.iter().flat_map(|ctx| ctx.completed.iter()) {
+                for rec in &it.comm_records {
+                    for rail in &rec.rails {
+                        let slot = &mut self.fleet.rail_busy[rail.index()];
+                        *slot = slot.saturating_add(rec.transfer_time());
+                    }
+                }
+            }
+        }
+        let fleet = FleetMetrics {
+            rail_busy: std::mem::take(&mut self.fleet.rail_busy),
+            cross_job_rail_overlaps: std::mem::take(&mut self.fleet.overlaps),
+            cross_job_port_takeovers: self.fleet.port_takeovers,
+            circuits_set_up_by_rail,
+            circuits_torn_down_by_rail,
+            rail_failures: self.fleet.health.failures_by_rail().to_vec(),
+            rail_downtime: self.fleet.health.downtime_by_rail().to_vec(),
+            injections_applied: self.fleet.injections_applied,
+            makespan: self.makespan,
+        };
+        let jobs = self
+            .jobs
+            .into_iter()
+            .map(|ctx| JobResult {
+                job: ctx.job,
+                gpu_offset: ctx.gpu_offset,
+                policy: ctx.config.policy,
+                result: SimulationResult {
+                    iterations: ctx.completed,
+                },
+            })
+            .collect();
+        ScenarioResult { jobs, fleet }
+    }
+
+    /// Resets job `j`'s per-iteration state and schedules its root tasks at `at`.
+    fn start_iteration(&mut self, j: usize, at: SimTime, engine: &mut ShardedEngine<SimEvent>) {
+        let ctx = &mut self.jobs[j];
+        ctx.iter_start = at;
+        ctx.remaining.clear();
+        ctx.remaining
+            .extend(ctx.dag.tasks.iter().map(|t| t.deps.len()));
+        ctx.finish.fill(SimTime::ZERO);
+        ctx.done_left = ctx.dag.tasks.len();
+        for task in &ctx.dag.tasks {
+            if task.deps.is_empty() {
+                let shard = ctx.task_shard[task.id.0 as usize];
+                engine.schedule_at(shard, at, SimEvent::Ready(j as u16, task.id));
+            }
+        }
+    }
+
+    /// Finalizes job `j`'s just-completed iteration and starts the next one (or
+    /// retires the job).
+    fn finish_iteration(&mut self, j: usize, engine: &mut ShardedEngine<SimEvent>) {
+        let ctx = &mut self.jobs[j];
+        debug_assert!(
+            ctx.remaining.iter().all(|&r| r == 0),
+            "every task must have executed"
+        );
+        let start = ctx.iter_start;
+        let end = ctx.finish.iter().copied().max().unwrap_or(start).max(start);
+        let mut comm_records = std::mem::take(&mut ctx.comm_records);
+        comm_records.sort_by_key(|r| (r.issued_at, r.task));
+        let result = IterationResult {
+            iteration: ctx.iteration,
+            iteration_time: end.duration_since(start),
+            started_at: start,
+            comm_records,
+            reconfig_events: std::mem::take(&mut ctx.reconfig_events),
+            total_circuit_wait: ctx.total_circuit_wait,
+        };
+        ctx.total_circuit_wait = SimDuration::ZERO;
+        ctx.completed.push(result);
+        if ctx.iteration == 0 {
+            ctx.shim.finish_profiling();
+        }
+        ctx.iteration += 1;
+        if ctx.iteration < ctx.config.iterations {
+            self.start_iteration(j, end, engine);
+        }
+    }
+
+    /// Applies one popped event: executes a job task, releases its dependents, or
+    /// applies an injected external event.
+    fn commit_event(
+        &mut self,
+        engine: &mut ShardedEngine<SimEvent>,
+        now: SimTime,
+        event: SimEvent,
+        planned: Option<EventPlan>,
+    ) {
+        match event {
+            SimEvent::Ready(j, id) => {
+                let j = j as usize;
+                let (end, record) = {
+                    let ScenarioSim {
+                        jobs,
+                        fleet,
+                        cluster,
+                        ..
+                    } = self;
+                    Self::execute_task(&mut jobs[j], fleet, cluster, id, now, planned)
+                };
+                let ctx = &mut self.jobs[j];
+                ctx.finish[id.0 as usize] = end;
+                if let Some(rec) = record {
+                    ctx.total_circuit_wait =
+                        ctx.total_circuit_wait.saturating_add(rec.circuit_wait);
+                    ctx.comm_records.push(rec);
+                    // Attribute any reconfigurations this commit caused to the job.
+                    if let Some(c) = self.fleet.backend.controller_mut() {
+                        if !c.events().is_empty() {
+                            c.drain_events_into(&mut ctx.reconfig_events);
+                        }
+                    }
+                }
+                engine.schedule_at(
+                    self.jobs[j].task_shard[id.0 as usize],
+                    end,
+                    SimEvent::Done(j as u16, id),
+                );
+            }
+            SimEvent::Done(j, id) => {
+                let j = j as usize;
+                let ctx = &mut self.jobs[j];
+                let lo = ctx.dependents_off[id.0 as usize] as usize;
+                let hi = ctx.dependents_off[id.0 as usize + 1] as usize;
+                for i in lo..hi {
+                    let dep_idx = ctx.dependents[i];
+                    let slot = &mut ctx.remaining[dep_idx as usize];
+                    debug_assert!(*slot > 0, "dependency counter underflow");
+                    *slot -= 1;
+                    if *slot == 0 {
+                        let shard = ctx.task_shard[dep_idx as usize];
+                        engine.schedule_at(shard, now, SimEvent::Ready(j as u16, TaskId(dep_idx)));
+                    }
+                }
+                ctx.done_left -= 1;
+                if ctx.done_left == 0 {
+                    self.finish_iteration(j, engine);
+                }
+            }
+            SimEvent::External(idx) => self.apply_injection(idx as usize, now, engine),
+        }
+    }
+
+    /// Applies one injected external event at its committed time.
+    fn apply_injection(&mut self, idx: usize, now: SimTime, engine: &mut ShardedEngine<SimEvent>) {
+        self.fleet.injections_applied += 1;
+        let Injection {
+            event, recover_at, ..
+        } = self.injections[idx];
+        match event {
+            ScenarioEvent::RailDown(rail) => {
+                self.fleet.health.fail(rail, now, recover_at);
+                if let Some(c) = self.fleet.backend.controller_mut() {
+                    c.rail_failed(rail);
+                }
+            }
+            ScenarioEvent::RailUp(rail) => self.fleet.health.recover(rail, now),
+            ScenarioEvent::OcsDegraded {
+                rail,
+                reconfig_latency,
+            } => {
+                if let Some(c) = self.fleet.backend.controller_mut() {
+                    c.set_rail_reconfig_delay(rail, reconfig_latency);
+                }
+            }
+            ScenarioEvent::JobArrival { job } => {
+                let j = job.index();
+                assert!(
+                    self.jobs[j].arrives_via_event && self.jobs[j].iteration == 0,
+                    "{job} arrived twice"
+                );
+                self.start_iteration(j, now, engine);
+            }
+        }
+    }
+
+    /// The pure (state-independent) part of handling an event, safe to evaluate on a
+    /// worker thread before its commit turn: the cost-model duration of a
+    /// communication task, plus the optical install feasibility/ready-time check
+    /// (validated against the controller's circuit epoch at commit). Compute jitter
+    /// and stateful controller interaction are *not* pure — they run at commit time,
+    /// in global event order.
+    fn prep_event(&self, event: SimEvent) -> Option<EventPlan> {
+        match event {
+            SimEvent::Ready(j, id) => {
+                let ctx = &self.jobs[j as usize];
+                Some(EventPlan {
+                    duration: Self::plan_comm_duration(ctx, &self.cluster, id),
+                    optical_ready: self.plan_optical_ready(ctx, id),
+                })
+            }
+            SimEvent::Done(..) | SimEvent::External(_) => None,
+        }
+    }
+
+    /// Pre-evaluates the optical no-op fast path for a communication task: when every
+    /// circuit the task needs is already installed, a reconfiguration request is free
+    /// and its outcome — `max(now, ready time of the slowest circuit)` — depends only
+    /// on circuit state that the epoch check pins. A rail failure tears its circuits
+    /// down (bumping the epoch), so a stale answer can never leak across an outage.
+    /// Returns `None` for anything that must take the stateful path.
+    fn plan_optical_ready(&self, ctx: &JobContext, id: TaskId) -> Option<(u64, SimTime)> {
+        if !ctx.config.policy.is_optical() {
+            return None;
+        }
+        let controller = self.fleet.backend.controller()?;
+        let task = &ctx.dag.tasks[id.0 as usize];
+        let bytes = match task.kind {
+            TaskKind::Compute { .. } => return None,
+            TaskKind::Collective { bytes, .. } | TaskKind::PointToPoint { bytes, .. } => bytes,
+        };
+        let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+        if slot.circuits.is_scaleup_only()
+            || ctx
+                .config
+                .host_offload
+                .is_some_and(|h| bytes <= h.threshold)
+        {
+            return None;
+        }
+        let ready = controller.installed_ready_time(&slot.circuits)?;
+        Some((controller.circuit_epoch(), ready))
+    }
+
+    /// The α–β transfer duration of a communication task (None for compute tasks).
+    /// Depends only on immutable per-task data, so it can be computed concurrently.
+    fn plan_comm_duration(ctx: &JobContext, cluster: &Cluster, id: TaskId) -> Option<SimDuration> {
+        let task = &ctx.dag.tasks[id.0 as usize];
+        if matches!(task.kind, TaskKind::Compute { .. }) {
+            return None;
+        }
+        let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+        let (kind, bytes, group_size) = match task.kind {
+            TaskKind::Compute { .. } => unreachable!("filtered above"),
+            TaskKind::Collective { kind, bytes, .. } => (kind, bytes, slot.group_size as usize),
+            TaskKind::PointToPoint { bytes, .. } => (CollectiveKind::SendRecv, bytes, 2),
+        };
+        let scaleout = !slot.circuits.is_scaleup_only();
+        let offloaded = scaleout
+            && ctx
+                .config
+                .host_offload
+                .is_some_and(|h| bytes <= h.threshold);
+        let params = Self::comm_params(&ctx.config, cluster, scaleout, offloaded);
+        Some(collective_time(
+            kind,
+            ctx.config.scaleout_algorithm,
+            group_size,
+            bytes,
+            &params,
+        ))
+    }
+
+    /// The α–β cost parameters of a transfer class.
+    fn comm_params(
+        config: &OpusConfig,
+        cluster: &Cluster,
+        scaleout: bool,
+        offloaded: bool,
+    ) -> CostParams {
+        if offloaded {
+            let h = config.host_offload.expect("offloaded implies configured");
+            CostParams::new(h.alpha, h.bandwidth)
+        } else if scaleout {
+            // The paper's Fig. 8 assumes equal bandwidth on electrical and optical
+            // rails, so both policies see the full NIC bandwidth once connectivity
+            // exists.
+            CostParams::new(config.scaleout_alpha, cluster.spec().nic.total_bandwidth)
+        } else {
+            CostParams::new(config.scaleup_alpha, cluster.scaleup_bandwidth())
+        }
+    }
+
+    /// Executes one task of one job that became ready at `now`; returns its end time
+    /// and, for communication tasks, the record describing what happened.
+    fn execute_task(
+        ctx: &mut JobContext,
+        fleet: &mut Fleet,
+        cluster: &Cluster,
+        id: TaskId,
+        now: SimTime,
+        planned: Option<EventPlan>,
+    ) -> (SimTime, Option<CommRecord>) {
+        let task = &ctx.dag.tasks[id.0 as usize];
+        // Handles are `Copy`, so taking them out of the task costs nothing — the hot
+        // path never clones a label `String` or a participant `Vec` per event.
+        let kind = task.kind.clone();
+        let label = task.label;
+        let participants = task.participants;
+        match kind {
+            TaskKind::Compute { duration } => {
+                let jitter = ctx.rng.jitter(ctx.config.compute_jitter);
+                (now + duration.mul_f64(jitter), None)
+            }
+            TaskKind::Collective {
+                group,
+                kind,
+                axis,
+                bytes,
+            } => {
+                let record = Self::execute_comm(
+                    ctx,
+                    fleet,
+                    cluster,
+                    id,
+                    now,
+                    kind,
+                    axis,
+                    bytes,
+                    Some(group),
+                    label,
+                    participants,
+                    planned,
+                );
+                (record.end, Some(record))
+            }
+            TaskKind::PointToPoint { axis, bytes, .. } => {
+                let record = Self::execute_comm(
+                    ctx,
+                    fleet,
+                    cluster,
+                    id,
+                    now,
+                    CollectiveKind::SendRecv,
+                    axis,
+                    bytes,
+                    None,
+                    label,
+                    participants,
+                    planned,
+                );
+                (record.end, Some(record))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_comm(
+        ctx: &mut JobContext,
+        fleet: &mut Fleet,
+        cluster: &Cluster,
+        id: TaskId,
+        now: SimTime,
+        kind: CollectiveKind,
+        axis: ParallelismAxis,
+        bytes: railsim_sim::Bytes,
+        group: Option<GroupId>,
+        label: LabelId,
+        participants: RankSet,
+        planned: Option<EventPlan>,
+    ) -> CommRecord {
+        let iteration = ctx.iteration;
+        let config = &ctx.config;
+        let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+        let circuit_group = slot.group;
+        let circuits = &slot.circuits;
+        let group_size = if group.is_some() {
+            slot.group_size as usize
+        } else {
+            2
+        };
+        let scaleout = !circuits.is_scaleup_only();
+        // §5 extension: small, bursty collectives can bypass the optical rails and run
+        // over the host packet-switched network instead of triggering reconfigurations.
+        let offloaded = scaleout && config.host_offload.is_some_and(|h| bytes <= h.threshold);
+
+        // The shim intercepts every scale-out call that uses the rails; during the
+        // profiling iteration it records the per-rank group sequence.
+        if scaleout && !offloaded && iteration == 0 {
+            for rank in participants.ranks() {
+                ctx.shim.observe(*rank, circuit_group);
+            }
+        }
+
+        let duration = planned.and_then(|p| p.duration).unwrap_or_else(|| {
+            let params = Self::comm_params(config, cluster, scaleout, offloaded);
+            collective_time(kind, config.scaleout_algorithm, group_size, bytes, &params)
+        });
+
+        // The outage gate: with rail failures in the timeline, a transfer that needs
+        // a down rail cannot start (electrical) or install circuits (optical) before
+        // the rail's scheduled recovery. Clean timelines skip the walk entirely.
+        let gated = if fleet.faults && scaleout && !offloaded {
+            fleet.outage_gate(circuits, now, ctx.job, label)
+        } else {
+            now
+        };
+
+        let optical = config.policy.is_optical();
+        let (start, circuit_wait, datapath_latency) = if !optical {
+            let fabric = fleet.backend.electrical();
+            // Every scale-out transfer pays the switch datapath latency — offloaded
+            // ones included (the host network also runs through packet switches;
+            // this matches the pre-redesign simulator byte for byte). Only the
+            // outage gate is rail-specific and skips offloaded traffic.
+            let latency = if scaleout {
+                fabric.datapath_latency()
+            } else {
+                SimDuration::ZERO
+            };
+            if scaleout && !offloaded {
+                (gated, gated.duration_since(now), latency)
+            } else {
+                (now, SimDuration::ZERO, latency)
+            }
+        } else {
+            let controller = fleet
+                .backend
+                .controller_mut()
+                .expect("optical job implies an optical backend");
+            if !scaleout || offloaded {
+                (now, SimDuration::ZERO, SimDuration::ZERO)
+            } else if let Some(ready) = planned
+                .and_then(|p| p.optical_ready)
+                .filter(|&(epoch, _)| epoch == controller.circuit_epoch())
+                .map(|(_, ready)| ready)
+                .or_else(|| controller.installed_ready_time(circuits))
+            {
+                // The request is a no-op: the circuits are installed on every rail —
+                // which also implies every needed rail is up, because a failure tears
+                // its circuits down — so it resolves to `max(now, slowest circuit
+                // ready)`. Either prep proved it and no install invalidated the
+                // answer (the epoch check), or one fresh O(group circuits) walk just
+                // did.
+                controller.note_noop_request();
+                let start = ready.max(now);
+                (start, start.duration_since(now), SimDuration::ZERO)
+            } else {
+                // Not (fully) installed: the stateful reconfiguration path.
+                let provisioned = config.provisioning_active(iteration) && ctx.shim.can_provision();
+                let requested_at = if provisioned {
+                    // Speculative request: issued as soon as the previous traffic
+                    // on the affected circuits completed (Fig. 5b). Back-dating
+                    // further than one reconfiguration latency buys nothing (the
+                    // circuits would be ready before the collective is issued
+                    // anyway) but would tear down the old circuits earlier than
+                    // necessary, so the request time is clamped to
+                    // `issue time − reconfiguration latency`.
+                    let earliest_useful = SimTime::from_nanos(
+                        now.as_nanos()
+                            .saturating_sub(config.reconfig_latency.as_nanos()),
+                    );
+                    controller.ports_free_at(circuits).max(earliest_useful)
+                } else {
+                    now
+                };
+                // A failed rail refuses installs until recovery; the request (however
+                // speculative) cannot start switching before the rail is back. With
+                // every rail up `gated == now`, and the clamp must NOT apply — a
+                // provisioned request is deliberately back-dated before `now`.
+                let requested_at = if gated > now {
+                    requested_at.max(gated)
+                } else {
+                    requested_at
+                };
+                let ready = controller.request(circuit_group, circuits, requested_at);
+                let start = ready.max(now);
+                (start, start.duration_since(now), SimDuration::ZERO)
+            }
+        };
+
+        let start = start + datapath_latency;
+        let end = start + duration;
+
+        if scaleout && !offloaded {
+            if optical {
+                if let Some(controller) = fleet.backend.controller_mut() {
+                    controller.occupy(circuits, end);
+                }
+            }
+            if fleet.multi_job {
+                fleet.note_transfer(ctx.job.0, circuits, start, end);
+            }
+        }
+
+        CommRecord {
+            task: id,
+            label,
+            axis,
+            kind,
+            group,
+            bytes,
+            scaleout,
+            // Offloaded traffic never touches the rails, so it carries no rail list and
+            // is invisible to the per-rail window/phase analysis — which is the point.
+            rails: if offloaded {
+                Vec::new()
+            } else {
+                circuits.rails()
+            },
+            issued_at: now,
+            start,
+            end,
+            circuit_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use railsim_topology::{ClusterSpec, NodePreset};
+    use railsim_workload::{ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig};
+
+    fn tiny_dag() -> TrainingDag {
+        let model = ModelConfig::tiny_test();
+        let parallel = ParallelismConfig::paper_llama3_8b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        DagBuilder::new(model, parallel, compute).build()
+    }
+
+    fn tiny_cluster(nodes: u32) -> Cluster {
+        ClusterSpec::from_preset(NodePreset::PerlmutterA100, nodes).build()
+    }
+
+    fn clean_single(config: OpusConfig) -> SimulationResult {
+        Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .run()
+            .jobs
+            .remove(0)
+            .result
+    }
+
+    #[test]
+    fn single_job_scenario_reports_one_job_and_fleet_counters() {
+        let config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(2)
+            .with_jitter(0.0, 1);
+        let result = Scenario::new(tiny_cluster(4)).job(tiny_dag(), config).run();
+        assert_eq!(result.jobs.len(), 1);
+        assert_eq!(result.jobs[0].job, JobId(0));
+        assert_eq!(result.jobs[0].gpu_offset, 0);
+        assert_eq!(result.job(JobId(0)).result.iterations.len(), 2);
+        assert!(result
+            .fleet
+            .rail_busy
+            .iter()
+            .any(|b| *b > SimDuration::ZERO));
+        assert_eq!(result.fleet.injections_applied, 0);
+        assert_eq!(result.fleet.cross_job_port_takeovers, 0);
+        assert!(result.fleet.cross_job_rail_overlaps.iter().all(|&o| o == 0));
+        assert!(result.fleet.makespan > SimTime::ZERO);
+        assert!(
+            result.fleet.circuits_set_up_by_rail.iter().sum::<u64>() > 0,
+            "an optical job must have installed circuits"
+        );
+    }
+
+    #[test]
+    fn two_disjoint_jobs_run_like_isolated_jobs() {
+        // Two copies of the same job, side by side on an 8-node cluster: disjoint
+        // GPUs and ports, so the shared fabric must give each job exactly the
+        // iteration times of a standalone 4-node run.
+        let config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(2)
+            .with_jitter(0.0, 1);
+        let standalone = clean_single(config);
+        let result = Scenario::new(tiny_cluster(8))
+            .job(tiny_dag(), config)
+            .job(tiny_dag(), config)
+            .run();
+        assert_eq!(result.jobs.len(), 2);
+        assert_eq!(result.jobs[0].gpu_offset, 0);
+        assert_eq!(
+            result.jobs[1].gpu_offset, 16,
+            "auto-packing is node aligned"
+        );
+        for job in &result.jobs {
+            for (a, b) in job
+                .result
+                .iterations
+                .iter()
+                .zip(standalone.iterations.iter())
+            {
+                assert_eq!(a.iteration_time, b.iteration_time, "{}", job.job);
+                assert_eq!(a.reconfig_events.len(), b.reconfig_events.len());
+            }
+        }
+        // Job 1's second iteration starts where *its own* first ended, independent of
+        // job 0 (clocks are per job even though the engine is shared).
+        assert_eq!(
+            result.jobs[1].result.iterations[1].started_at,
+            result.jobs[1].result.iterations[0].started_at
+                + result.jobs[1].result.iterations[0].iteration_time
+        );
+        // Both jobs used the same rails — fleet busy time doubles.
+        let busy: f64 = result.fleet.rail_busy.iter().map(|d| d.as_secs_f64()).sum();
+        let single_busy: f64 = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .run()
+            .fleet
+            .rail_busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        assert!((busy - 2.0 * single_busy).abs() < 1e-9 + busy * 1e-6);
+    }
+
+    #[test]
+    fn rail_flap_inflates_the_faulted_iteration_then_recovers() {
+        let config = OpusConfig::on_demand(SimDuration::from_millis(1))
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        let clean_scenario = Scenario::new(tiny_cluster(4)).job(tiny_dag(), config).run();
+        let clean = &clean_scenario.jobs[0].result;
+        let t1 = clean.iterations[1].started_at;
+        let dur = clean.iterations[1].iteration_time;
+        // Fail rail 0 a quarter into iteration 1, recover it half an iteration later.
+        let down = t1 + dur.mul_f64(0.25);
+        let up = down + dur.mul_f64(0.5);
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(down, ScenarioEvent::RailDown(RailId(0)))
+            .inject(up, ScenarioEvent::RailUp(RailId(0)))
+            .run();
+        let faulted = &result.jobs[0].result;
+        assert_eq!(result.fleet.injections_applied, 2);
+        assert_eq!(result.fleet.rail_failures[0], 1);
+        assert!(result.fleet.rail_downtime[0] > SimDuration::ZERO);
+        assert!(
+            faulted.iterations[1].iteration_time > clean.iterations[1].iteration_time,
+            "the faulted iteration must be slower: {} vs {}",
+            faulted.iterations[1].iteration_time,
+            clean.iterations[1].iteration_time
+        );
+        // Transfers that needed the failed rail waited for recovery + reinstall; the
+        // extra wait is reported as circuit wait.
+        assert!(
+            faulted.iterations[1].total_circuit_wait > clean.iterations[1].total_circuit_wait,
+            "the outage must show up as circuit wait ({} vs {})",
+            faulted.iterations[1].total_circuit_wait,
+            clean.iterations[1].total_circuit_wait
+        );
+        // Iteration 0 committed entirely before the failure is byte-identical.
+        assert_eq!(
+            faulted.iterations[0].comm_records,
+            clean.iterations[0].comm_records
+        );
+    }
+
+    #[test]
+    fn electrical_jobs_wait_out_rail_outages_too() {
+        let config = OpusConfig::electrical()
+            .with_iterations(2)
+            .with_jitter(0.0, 1);
+        let clean = clean_single(config);
+        let t1 = clean.iterations[1].started_at;
+        let dur = clean.iterations[1].iteration_time;
+        let down = t1 + dur.mul_f64(0.1);
+        let up = down + dur;
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(down, ScenarioEvent::RailDown(RailId(0)))
+            .inject(up, ScenarioEvent::RailUp(RailId(0)))
+            .run();
+        let faulted = &result.jobs[0].result;
+        assert!(faulted.iterations[1].iteration_time > clean.iterations[1].iteration_time);
+        assert!(
+            faulted.iterations[1].total_circuit_wait > SimDuration::ZERO,
+            "the outage wait is reported as circuit wait"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no scheduled recovery")]
+    fn unrecovered_rail_failure_is_a_scenario_bug() {
+        let config = OpusConfig::electrical()
+            .with_iterations(2)
+            .with_jitter(0.0, 1);
+        let _ = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(SimTime::ZERO, ScenarioEvent::RailDown(RailId(0)))
+            .run();
+    }
+
+    #[test]
+    fn ocs_degradation_slows_reconfigurations() {
+        let config = OpusConfig::on_demand(SimDuration::from_millis(1))
+            .with_iterations(2)
+            .with_jitter(0.0, 1);
+        let clean = clean_single(config);
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(
+                SimTime::ZERO,
+                ScenarioEvent::OcsDegraded {
+                    rail: RailId(0),
+                    reconfig_latency: SimDuration::from_millis(200),
+                },
+            )
+            .run();
+        assert!(
+            result.jobs[0].result.steady_state_iteration_time()
+                > clean.steady_state_iteration_time(),
+            "a degraded OCS must slow the job"
+        );
+    }
+
+    #[test]
+    fn job_arrival_delays_the_start() {
+        let config = OpusConfig::electrical()
+            .with_iterations(1)
+            .with_jitter(0.0, 1);
+        let at = SimTime::from_millis(250);
+        let result = Scenario::new(tiny_cluster(8))
+            .job(tiny_dag(), config)
+            .job(tiny_dag(), config)
+            .inject(at, ScenarioEvent::JobArrival { job: JobId(1) })
+            .run();
+        assert_eq!(
+            result.jobs[0].result.iterations[0].started_at,
+            SimTime::ZERO
+        );
+        assert_eq!(result.jobs[1].result.iterations[0].started_at, at);
+        // The late job runs the same iteration, just shifted.
+        assert_eq!(
+            result.jobs[0].result.iterations[0].iteration_time,
+            result.jobs[1].result.iterations[0].iteration_time
+        );
+    }
+
+    #[test]
+    fn overlapping_placements_report_port_takeovers() {
+        // Two jobs time-sharing the same GPUs: every transfer alternation flips the
+        // port tenant, which the fleet counters must surface.
+        let config = OpusConfig::electrical()
+            .with_iterations(1)
+            .with_jitter(0.0, 1);
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .job_placed(tiny_dag(), config, JobPlacement::AtGpu(0))
+            .run();
+        assert!(result.fleet.cross_job_port_takeovers > 0);
+        assert!(result.fleet.cross_job_rail_overlaps.iter().any(|&o| o > 0));
+    }
+
+    #[test]
+    fn injections_sort_into_the_timeline_in_declaration_order_on_ties() {
+        // Down and up at the same instant, declared down-then-up: the rail ends up.
+        let config = OpusConfig::electrical()
+            .with_iterations(1)
+            .with_jitter(0.0, 1);
+        let t = SimTime::from_millis(1);
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(t, ScenarioEvent::RailDown(RailId(0)))
+            .inject(t, ScenarioEvent::RailUp(RailId(0)))
+            .run();
+        assert_eq!(result.fleet.injections_applied, 2);
+        assert_eq!(result.fleet.rail_failures[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only has 4 rails")]
+    fn injection_on_unknown_rail_is_rejected() {
+        let config = OpusConfig::electrical();
+        let _ = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(SimTime::ZERO, ScenarioEvent::RailDown(RailId(9)))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster only has 16 GPUs")]
+    fn placement_outside_the_cluster_is_rejected() {
+        let config = OpusConfig::electrical();
+        let _ = Scenario::new(tiny_cluster(4))
+            .job_placed(tiny_dag(), config, JobPlacement::AtGpu(8))
+            .run();
+    }
+
+    #[test]
+    fn shard_and_thread_counts_never_change_scenario_results() {
+        let base = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(2)
+            .with_jitter(0.05, 9);
+        let run = |config: OpusConfig| {
+            let clean = clean_single(base);
+            let t1 = clean.iterations[1].started_at;
+            Scenario::new(tiny_cluster(8))
+                .job(tiny_dag(), config)
+                .job(tiny_dag(), base)
+                .inject(
+                    t1 + SimDuration::from_micros(10),
+                    ScenarioEvent::RailDown(RailId(1)),
+                )
+                .inject(
+                    t1 + clean.iterations[1].iteration_time,
+                    ScenarioEvent::RailUp(RailId(1)),
+                )
+                .run()
+        };
+        let reference = run(base);
+        for (shards, threads) in [(1u32, 1u32), (2, 4), (64, 8)] {
+            let alt = run(base
+                .with_event_shards(shards)
+                .with_parallel_threads(threads));
+            for (a, b) in alt.jobs.iter().zip(reference.jobs.iter()) {
+                for (x, y) in a.result.iterations.iter().zip(b.result.iterations.iter()) {
+                    assert_eq!(x.iteration_time, y.iteration_time, "{shards}x{threads}");
+                    assert_eq!(x.comm_records, y.comm_records, "{shards}x{threads}");
+                    assert_eq!(x.reconfig_events, y.reconfig_events);
+                }
+            }
+            assert_eq!(alt.fleet.rail_busy, reference.fleet.rail_busy);
+        }
+    }
+}

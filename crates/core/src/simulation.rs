@@ -1,4 +1,4 @@
-//! The end-to-end training-iteration simulator.
+//! The end-to-end training-iteration simulator (single-job compatibility wrapper).
 //!
 //! [`OpusSimulator`] executes a [`TrainingDag`] over a concrete cluster under one of
 //! three network policies (electrical baseline, optical on-demand, optical with
@@ -6,6 +6,13 @@
 //! reconfiguration events. It is the engine behind Fig. 3 (per-rail communication
 //! timelines), Fig. 4 (window statistics) and Fig. 8 (iteration time vs.
 //! reconfiguration latency).
+//!
+//! Since the scenario-driver redesign, `OpusSimulator` is a thin wrapper over
+//! [`Scenario`](crate::Scenario) with exactly one job, a clean timeline and the
+//! classic accessors — the entire execution engine lives in
+//! [`scenario`](crate::scenario), and a single-job scenario is defined (and pinned by
+//! the determinism and golden suites) to produce byte-identical serialized metrics to
+//! the pre-redesign simulator.
 //!
 //! ## How a communication task executes
 //!
@@ -22,93 +29,23 @@
 //! 4. The transfer's duration comes from the α–β collective cost model; its ports are
 //!    marked busy until it completes.
 
-use crate::circuits::{CircuitPlanner, GroupCircuits};
 use crate::config::{OpusConfig, ReconfigPolicy};
 use crate::controller::OpusController;
 use crate::group_table::GroupTable;
-use crate::metrics::{CommRecord, IterationResult, SimulationResult};
+use crate::metrics::SimulationResult;
+use crate::scenario::{Scenario, ScenarioSim};
 use crate::shim::OpusShim;
-use railsim_collectives::{
-    cost::{collective_time, CostParams},
-    CollectiveKind, CommGroup, GroupId, ParallelismAxis,
-};
-use railsim_sim::{ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
-use railsim_topology::{Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity};
-use railsim_workload::{LabelId, RankSet, TaskId, TaskKind, TrainingDag};
-use std::collections::HashMap;
+use railsim_sim::SimDuration;
+use railsim_topology::Cluster;
+use railsim_workload::TrainingDag;
 
-/// Events of the DAG-execution discrete-event simulation.
-#[derive(Debug, Clone, Copy)]
-enum SimEvent {
-    /// All dependencies of the task have completed.
-    Ready(TaskId),
-    /// The task has finished executing.
-    Done(TaskId),
-}
-
-/// The network backend the simulator drives.
-enum Backend {
-    Electrical(ElectricalRailFabric),
-    Optical(Box<OpusController>),
-}
-
-/// One deduplicated circuit-demand entry: every task of a communication group shares
-/// this slot instead of owning a `GroupCircuits` clone (at 100k GPUs the per-task
-/// clones — a `BTreeMap` of circuit vectors each — dominated the simulator footprint).
-struct CircuitSlot {
-    group: GroupId,
-    /// Member count of the group (collective cost-model input).
-    group_size: u32,
-    circuits: GroupCircuits,
-}
-
-/// Sentinel slot index for tasks without circuit demand (compute tasks).
-const NO_SLOT: u32 = u32::MAX;
-
-/// The pure, state-independent work of one event, evaluated concurrently on the
-/// parallel stepping path's worker threads before the event's commit turn.
-#[derive(Debug, Clone, Copy)]
-struct EventPlan {
-    /// The α–β cost-model transfer duration (None for compute tasks).
-    duration: Option<SimDuration>,
-    /// Optical install feasibility/ready-time evaluation: when the task's circuits
-    /// were fully installed at prep time, the controller's circuit epoch and the time
-    /// at which every circuit is ready. Commit honours it only while the epoch is
-    /// unchanged (no install happened in between), which keeps results byte-identical
-    /// to the sequential path; a stale or absent plan falls back to the full
-    /// controller request.
-    optical_ready: Option<(u64, SimTime)>,
-}
-
-/// The end-to-end simulator.
+/// The end-to-end single-job simulator: one job, no injected events.
+///
+/// Equivalent to `Scenario::new(cluster).job(dag, config)` followed by extracting the
+/// only job's [`SimulationResult`]; kept as a first-class type because every figure
+/// binary, test suite and example drives exactly this shape.
 pub struct OpusSimulator {
-    cluster: Cluster,
-    dag: TrainingDag,
-    config: OpusConfig,
-    group_table: GroupTable,
-    /// Deduplicated circuit demands; see [`CircuitSlot`].
-    circuit_pool: Vec<CircuitSlot>,
-    /// Per-task index into `circuit_pool` (`NO_SLOT` for compute tasks).
-    task_circuit_slot: Vec<u32>,
-    /// Reverse dependency edges in CSR layout: the dependents of task `i` are
-    /// `dependents[dependents_off[i]..dependents_off[i + 1]]`. One flat allocation
-    /// instead of a million per-task `Vec`s.
-    dependents_off: Vec<u32>,
-    dependents: Vec<u32>,
-    /// Event-engine lane per task, derived from the task's rail affinity.
-    task_shard: Vec<ShardId>,
-    num_shards: usize,
-    backend: Backend,
-    shim: OpusShim,
-    rng: SimRng,
-}
-
-/// Mutable per-iteration execution state, threaded through the event handlers.
-struct IterState {
-    remaining: Vec<usize>,
-    finish: Vec<SimTime>,
-    comm_records: Vec<CommRecord>,
-    total_circuit_wait: SimDuration,
+    sim: ScenarioSim,
 }
 
 impl OpusSimulator {
@@ -117,629 +54,35 @@ impl OpusSimulator {
     /// # Panics
     /// Panics if the DAG is invalid or references ranks outside the cluster.
     pub fn new(cluster: Cluster, dag: TrainingDag, config: OpusConfig) -> Self {
-        dag.validate().expect("training DAG must be valid");
-        let max_rank = dag
-            .tasks
-            .iter()
-            .flat_map(|t| t.ranks().iter())
-            .map(|g| g.0)
-            .max()
-            .unwrap_or(0);
-        assert!(
-            max_rank < cluster.num_gpus(),
-            "DAG references rank {max_rank} but the cluster only has {} GPUs",
-            cluster.num_gpus()
-        );
-
-        let group_table = GroupTable::build(&cluster, dag.groups.values());
-        let planner = CircuitPlanner::for_cluster(&cluster);
-        let (circuit_pool, task_circuit_slot) =
-            Self::plan_task_circuits(&cluster, &dag, &group_table, &planner);
-        let (dependents_off, dependents) = Self::build_dependents(&dag);
-        let num_shards = config
-            .event_shards
-            .unwrap_or_else(|| cluster.num_rails())
-            .max(1) as usize;
-        let task_shard = Self::assign_task_shards(
-            &cluster,
-            &dag,
-            &circuit_pool,
-            &task_circuit_slot,
-            num_shards,
-        );
-
-        let backend = if config.policy.is_optical() {
-            let fabric = OpticalRailFabric::for_cluster(&cluster, config.reconfig_latency);
-            Backend::Optical(Box::new(OpusController::new(fabric)))
-        } else {
-            Backend::Electrical(ElectricalRailFabric::for_cluster(&cluster))
-        };
-
-        let rng = SimRng::new(config.seed);
         OpusSimulator {
-            cluster,
-            dag,
-            config,
-            group_table,
-            circuit_pool,
-            task_circuit_slot,
-            dependents_off,
-            dependents,
-            task_shard,
-            num_shards,
-            backend,
-            shim: OpusShim::new(),
-            rng,
+            sim: ScenarioSim::build(Scenario::new(cluster).job(dag, config)),
         }
     }
 
     /// Number of event lanes the engine runs with.
     pub fn num_event_shards(&self) -> usize {
-        self.num_shards
-    }
-
-    /// Assigns every task to an event lane by rail affinity: communication tasks go to
-    /// the first rail their circuits touch, everything else to the rail of its first
-    /// participant (its local rank). Rails fold onto lanes modulo the shard count.
-    /// Shard choice is pure load balancing — the engine's global-sequence merge keeps
-    /// results byte-identical for any assignment.
-    fn assign_task_shards(
-        cluster: &Cluster,
-        dag: &TrainingDag,
-        circuit_pool: &[CircuitSlot],
-        task_circuit_slot: &[u32],
-        num_shards: usize,
-    ) -> Vec<ShardId> {
-        dag.tasks
-            .iter()
-            .map(|task| {
-                let slot = task_circuit_slot[task.id.0 as usize];
-                let rail = (slot != NO_SLOT)
-                    .then(|| {
-                        circuit_pool[slot as usize]
-                            .circuits
-                            .per_rail
-                            .keys()
-                            .next()
-                            .copied()
-                    })
-                    .flatten()
-                    .unwrap_or_else(|| cluster.rail_of(task.participants.first()));
-                ShardId(rail.0 % num_shards as u32)
-            })
-            .collect()
+        self.sim.num_event_shards()
     }
 
     /// The group table (communication groups and their planned circuits).
     pub fn group_table(&self) -> &GroupTable {
-        &self.group_table
+        self.sim.job_group_table(0)
     }
 
     /// The shim (and its profile, once at least one iteration has run).
     pub fn shim(&self) -> &OpusShim {
-        &self.shim
+        self.sim.job_shim(0)
     }
 
     /// The controller, when running an optical policy.
     pub fn controller(&self) -> Option<&OpusController> {
-        match &self.backend {
-            Backend::Optical(c) => Some(c),
-            Backend::Electrical(_) => None,
-        }
-    }
-
-    /// Builds the reverse dependency edges in CSR layout (`(offsets, edges)`).
-    fn build_dependents(dag: &TrainingDag) -> (Vec<u32>, Vec<u32>) {
-        let n = dag.tasks.len();
-        let mut counts = vec![0u32; n + 1];
-        for task in &dag.tasks {
-            for dep in &task.deps {
-                counts[dep.0 as usize + 1] += 1;
-            }
-        }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
-        }
-        let offsets = counts;
-        let mut cursor = offsets.clone();
-        let mut edges = vec![0u32; offsets[n] as usize];
-        for task in &dag.tasks {
-            for dep in &task.deps {
-                let c = &mut cursor[dep.0 as usize];
-                edges[*c as usize] = task.id.0;
-                *c += 1;
-            }
-        }
-        (offsets, edges)
-    }
-
-    /// Plans the circuit demand of every communication task, deduplicated into one
-    /// [`CircuitSlot`] per communication group (plus one per ad-hoc point-to-point
-    /// pair that belongs to no group). Returns the pool and the per-task slot index.
-    fn plan_task_circuits(
-        cluster: &Cluster,
-        dag: &TrainingDag,
-        table: &GroupTable,
-        planner: &CircuitPlanner,
-    ) -> (Vec<CircuitSlot>, Vec<u32>) {
-        // Groups partition the ranks of each axis, so `(axis, rank) -> group` is a
-        // function; index it once instead of scanning every group per point-to-point
-        // task (the scan was quadratic at the 10k-GPU scale: #p2p tasks x #groups).
-        let mut member_group: HashMap<(ParallelismAxis, GpuId), GroupId> = HashMap::new();
-        for g in dag.groups.values() {
-            for rank in &g.ranks {
-                member_group.insert((g.axis, *rank), g.id);
-            }
-        }
-        let mut pool: Vec<CircuitSlot> = Vec::new();
-        let mut slot_of_group: HashMap<GroupId, u32> = HashMap::new();
-        let mut task_slot = vec![NO_SLOT; dag.tasks.len()];
-        let mut group_slot = |pool: &mut Vec<CircuitSlot>, id: GroupId| -> u32 {
-            *slot_of_group.entry(id).or_insert_with(|| {
-                let circuits = table
-                    .circuits(id)
-                    .expect("communication group must be registered")
-                    .clone();
-                let slot = pool.len() as u32;
-                pool.push(CircuitSlot {
-                    group: id,
-                    group_size: dag.groups[&id].size() as u32,
-                    circuits,
-                });
-                slot
-            })
-        };
-        for task in dag.communication_tasks() {
-            let slot = match &task.kind {
-                TaskKind::Collective { group, .. } => group_slot(&mut pool, *group),
-                TaskKind::PointToPoint { src, dst, axis, .. } => {
-                    // A point-to-point transfer uses the circuits of the communication
-                    // group it belongs to (circuit allocation is per group, §5): find
-                    // the group on the same axis containing both endpoints, or fall
-                    // back to planning an ad-hoc pair.
-                    let group = member_group
-                        .get(&(*axis, *src))
-                        .filter(|id| member_group.get(&(*axis, *dst)) == Some(id));
-                    match group {
-                        Some(&id) => group_slot(&mut pool, id),
-                        None => {
-                            let pseudo = CommGroup::new(
-                                GroupId(u32::MAX - task.id.0),
-                                *axis,
-                                vec![*src, *dst],
-                            );
-                            let slot = pool.len() as u32;
-                            pool.push(CircuitSlot {
-                                group: pseudo.id,
-                                group_size: 2,
-                                circuits: planner.plan(cluster, &pseudo),
-                            });
-                            slot
-                        }
-                    }
-                }
-                TaskKind::Compute { .. } => unreachable!("communication_tasks filters compute"),
-            };
-            task_slot[task.id.0 as usize] = slot;
-        }
-        (pool, task_slot)
+        self.sim.controller()
     }
 
     /// Runs the configured number of iterations and returns all results.
     pub fn run(&mut self) -> SimulationResult {
-        let mut iterations = Vec::new();
-        let mut clock = SimTime::ZERO;
-        for iteration in 0..self.config.iterations {
-            let (result, end) = self.run_iteration(iteration, clock);
-            clock = end;
-            iterations.push(result);
-            if iteration == 0 {
-                self.shim.finish_profiling();
-            }
-        }
-        SimulationResult { iterations }
-    }
-
-    fn run_iteration(&mut self, iteration: u32, start: SimTime) -> (IterationResult, SimTime) {
-        let n = self.dag.tasks.len();
-        let mut st = IterState {
-            remaining: self.dag.tasks.iter().map(|t| t.deps.len()).collect(),
-            finish: vec![SimTime::ZERO; n],
-            comm_records: Vec::new(),
-            total_circuit_wait: SimDuration::ZERO,
-        };
-
-        // One event lane per rail (folded modulo the shard count): each task's Ready
-        // and Done events run on the lane of the rail its traffic touches, so the
-        // per-lane heaps stay small at 10k-GPU scale while the global-sequence merge
-        // keeps the pop order identical to a single queue.
-        let mut engine: ShardedEngine<SimEvent> = ShardedEngine::new(self.num_shards);
-        for task in &self.dag.tasks {
-            if task.deps.is_empty() {
-                let shard = self.task_shard[task.id.0 as usize];
-                engine.schedule_at(shard, start, SimEvent::Ready(task.id));
-            }
-        }
-
-        let threads = self.config.parallel_threads.unwrap_or(1).max(1) as usize;
-        if threads > 1 {
-            // Parallel stepping: drain the head time-slice from every lane, evaluate
-            // the pure per-event work (the α–β cost-model durations) on scoped worker
-            // threads, then commit the stateful part — controller requests, RNG draws,
-            // record emission — sequentially in global `(time, seq)` order. The commit
-            // order equals the single-queue pop order, so results are byte-identical
-            // to the sequential path for any thread count.
-            loop {
-                let batch = {
-                    let sim = &*self;
-                    engine.pop_batch_parallel(threads, |_, _, ev| sim.prep_event(*ev))
-                };
-                let Some(batch) = batch else { break };
-                for (now, _, event, planned) in batch {
-                    self.commit_event(&mut engine, &mut st, now, event, planned, iteration);
-                }
-            }
-        } else {
-            // The handler closure cannot borrow `self` mutably while the engine is
-            // borrowed, so the loop is driven manually.
-            while let Some((now, event)) = engine.pop() {
-                self.commit_event(&mut engine, &mut st, now, event, None, iteration);
-            }
-        }
-
-        debug_assert!(
-            st.remaining.iter().all(|&r| r == 0),
-            "every task must have executed"
-        );
-        assert_eq!(
-            engine.clamped_events(),
-            0,
-            "the DAG executor never schedules into the past; a clamp means the \
-             sharded merge delivered an event out of order"
-        );
-        let end = st.finish.iter().copied().max().unwrap_or(start).max(start);
-        let mut comm_records = st.comm_records;
-        comm_records.sort_by_key(|r| (r.issued_at, r.task));
-        let reconfig_events = match &mut self.backend {
-            Backend::Optical(c) => c.take_events(),
-            Backend::Electrical(_) => Vec::new(),
-        };
-        let result = IterationResult {
-            iteration,
-            iteration_time: end.duration_since(start),
-            started_at: start,
-            comm_records,
-            reconfig_events,
-            total_circuit_wait: st.total_circuit_wait,
-        };
-        (result, end)
-    }
-
-    /// Applies one popped event: executes the task (Ready) or releases its dependents
-    /// (Done), scheduling follow-up events on the engine. `planned` carries the
-    /// pre-computed pure work from the parallel stepping path, if any.
-    fn commit_event(
-        &mut self,
-        engine: &mut ShardedEngine<SimEvent>,
-        st: &mut IterState,
-        now: SimTime,
-        event: SimEvent,
-        planned: Option<EventPlan>,
-        iteration: u32,
-    ) {
-        match event {
-            SimEvent::Ready(id) => {
-                let (end, record) = self.execute_task(id, now, iteration, planned);
-                st.finish[id.0 as usize] = end;
-                if let Some(rec) = record {
-                    st.total_circuit_wait = st.total_circuit_wait.saturating_add(rec.circuit_wait);
-                    st.comm_records.push(rec);
-                }
-                engine.schedule_at(self.task_shard[id.0 as usize], end, SimEvent::Done(id));
-            }
-            SimEvent::Done(id) => {
-                let lo = self.dependents_off[id.0 as usize] as usize;
-                let hi = self.dependents_off[id.0 as usize + 1] as usize;
-                for i in lo..hi {
-                    let dep_idx = self.dependents[i];
-                    let slot = &mut st.remaining[dep_idx as usize];
-                    debug_assert!(*slot > 0, "dependency counter underflow");
-                    *slot -= 1;
-                    if *slot == 0 {
-                        let shard = self.task_shard[dep_idx as usize];
-                        engine.schedule_at(shard, now, SimEvent::Ready(TaskId(dep_idx)));
-                    }
-                }
-            }
-        }
-    }
-
-    /// The pure (state-independent) part of handling an event, safe to evaluate on a
-    /// worker thread before its commit turn: the cost-model duration of a
-    /// communication task, plus the optical install feasibility/ready-time check
-    /// (validated against the controller's circuit epoch at commit). Compute jitter
-    /// and stateful controller interaction are *not* pure — they run at commit time,
-    /// in global event order.
-    fn prep_event(&self, event: SimEvent) -> Option<EventPlan> {
-        match event {
-            SimEvent::Ready(id) => Some(EventPlan {
-                duration: self.plan_comm_duration(id),
-                optical_ready: self.plan_optical_ready(id),
-            }),
-            SimEvent::Done(_) => None,
-        }
-    }
-
-    /// Pre-evaluates the optical no-op fast path for a communication task: when every
-    /// circuit the task needs is already installed, a reconfiguration request is free
-    /// and its outcome — `max(now, ready time of the slowest circuit)` — depends only
-    /// on circuit state that the epoch check pins. Returns `None` for anything that
-    /// must take the stateful path (electrical backend, scale-up or offloaded
-    /// traffic, circuits not yet installed).
-    fn plan_optical_ready(&self, id: TaskId) -> Option<(u64, SimTime)> {
-        let Backend::Optical(controller) = &self.backend else {
-            return None;
-        };
-        let task = &self.dag.tasks[id.0 as usize];
-        let bytes = match task.kind {
-            TaskKind::Compute { .. } => return None,
-            TaskKind::Collective { bytes, .. } | TaskKind::PointToPoint { bytes, .. } => bytes,
-        };
-        let slot = &self.circuit_pool[self.task_circuit_slot[id.0 as usize] as usize];
-        if slot.circuits.is_scaleup_only()
-            || self
-                .config
-                .host_offload
-                .is_some_and(|h| bytes <= h.threshold)
-        {
-            return None;
-        }
-        let ready = controller.installed_ready_time(&slot.circuits)?;
-        Some((controller.circuit_epoch(), ready))
-    }
-
-    /// The α–β transfer duration of a communication task (None for compute tasks).
-    /// Depends only on immutable per-task data, so it can be computed concurrently.
-    fn plan_comm_duration(&self, id: TaskId) -> Option<SimDuration> {
-        let task = &self.dag.tasks[id.0 as usize];
-        if matches!(task.kind, TaskKind::Compute { .. }) {
-            return None;
-        }
-        let slot = &self.circuit_pool[self.task_circuit_slot[id.0 as usize] as usize];
-        let (kind, bytes, group_size) = match task.kind {
-            TaskKind::Compute { .. } => unreachable!("filtered above"),
-            TaskKind::Collective { kind, bytes, .. } => (kind, bytes, slot.group_size as usize),
-            TaskKind::PointToPoint { bytes, .. } => (CollectiveKind::SendRecv, bytes, 2),
-        };
-        let scaleout = !slot.circuits.is_scaleup_only();
-        let offloaded = scaleout
-            && self
-                .config
-                .host_offload
-                .is_some_and(|h| bytes <= h.threshold);
-        let params = Self::comm_params(&self.config, &self.cluster, scaleout, offloaded);
-        Some(collective_time(
-            kind,
-            self.config.scaleout_algorithm,
-            group_size,
-            bytes,
-            &params,
-        ))
-    }
-
-    /// The α–β cost parameters of a transfer class.
-    fn comm_params(
-        config: &OpusConfig,
-        cluster: &Cluster,
-        scaleout: bool,
-        offloaded: bool,
-    ) -> CostParams {
-        if offloaded {
-            let h = config.host_offload.expect("offloaded implies configured");
-            CostParams::new(h.alpha, h.bandwidth)
-        } else if scaleout {
-            // The paper's Fig. 8 assumes equal bandwidth on electrical and optical
-            // rails, so both policies see the full NIC bandwidth once connectivity
-            // exists.
-            CostParams::new(config.scaleout_alpha, cluster.spec().nic.total_bandwidth)
-        } else {
-            CostParams::new(config.scaleup_alpha, cluster.scaleup_bandwidth())
-        }
-    }
-
-    /// Executes one task that became ready at `now`; returns its end time and, for
-    /// communication tasks, the record describing what happened. `planned` is the
-    /// pre-computed pure work from [`OpusSimulator::prep_event`], if the parallel
-    /// stepping path already evaluated it.
-    fn execute_task(
-        &mut self,
-        id: TaskId,
-        now: SimTime,
-        iteration: u32,
-        planned: Option<EventPlan>,
-    ) -> (SimTime, Option<CommRecord>) {
-        let task = &self.dag.tasks[id.0 as usize];
-        // Handles are `Copy`, so taking them out of the task costs nothing — the hot
-        // path no longer clones a label `String` or a participant `Vec` per event.
-        let kind = task.kind.clone();
-        let label = task.label;
-        let participants = task.participants;
-        match kind {
-            TaskKind::Compute { duration } => {
-                let jitter = self.rng.jitter(self.config.compute_jitter);
-                (now + duration.mul_f64(jitter), None)
-            }
-            TaskKind::Collective {
-                group,
-                kind,
-                axis,
-                bytes,
-            } => {
-                let record = self.execute_comm(
-                    id,
-                    now,
-                    iteration,
-                    kind,
-                    axis,
-                    bytes,
-                    Some(group),
-                    label,
-                    participants,
-                    planned,
-                );
-                (record.end, Some(record))
-            }
-            TaskKind::PointToPoint { axis, bytes, .. } => {
-                let record = self.execute_comm(
-                    id,
-                    now,
-                    iteration,
-                    CollectiveKind::SendRecv,
-                    axis,
-                    bytes,
-                    None,
-                    label,
-                    participants,
-                    planned,
-                );
-                (record.end, Some(record))
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute_comm(
-        &mut self,
-        id: TaskId,
-        now: SimTime,
-        iteration: u32,
-        kind: CollectiveKind,
-        axis: ParallelismAxis,
-        bytes: railsim_sim::Bytes,
-        group: Option<GroupId>,
-        label: LabelId,
-        participants: RankSet,
-        planned: Option<EventPlan>,
-    ) -> CommRecord {
-        // Field-wise borrows: the circuit slot is read-shared while the backend and
-        // shim are mutated, which a method call on `self` could not express.
-        let OpusSimulator {
-            circuit_pool,
-            task_circuit_slot,
-            config,
-            cluster,
-            shim,
-            backend,
-            ..
-        } = self;
-        let slot = &circuit_pool[task_circuit_slot[id.0 as usize] as usize];
-        let circuit_group = slot.group;
-        let circuits = &slot.circuits;
-        let group_size = if group.is_some() {
-            slot.group_size as usize
-        } else {
-            2
-        };
-        let scaleout = !circuits.is_scaleup_only();
-        // §5 extension: small, bursty collectives can bypass the optical rails and run
-        // over the host packet-switched network instead of triggering reconfigurations.
-        let offloaded = scaleout && config.host_offload.is_some_and(|h| bytes <= h.threshold);
-
-        // The shim intercepts every scale-out call that uses the rails; during the
-        // profiling iteration it records the per-rank group sequence.
-        if scaleout && !offloaded && iteration == 0 {
-            for rank in participants.ranks() {
-                shim.observe(*rank, circuit_group);
-            }
-        }
-
-        let duration = planned.and_then(|p| p.duration).unwrap_or_else(|| {
-            let params = Self::comm_params(config, cluster, scaleout, offloaded);
-            collective_time(kind, config.scaleout_algorithm, group_size, bytes, &params)
-        });
-
-        let (start, circuit_wait, datapath_latency) = match backend {
-            Backend::Electrical(fabric) => {
-                let latency = if scaleout {
-                    fabric.datapath_latency()
-                } else {
-                    SimDuration::ZERO
-                };
-                (now, SimDuration::ZERO, latency)
-            }
-            Backend::Optical(controller) => {
-                if !scaleout || offloaded {
-                    (now, SimDuration::ZERO, SimDuration::ZERO)
-                } else if let Some(ready) = planned
-                    .and_then(|p| p.optical_ready)
-                    .filter(|&(epoch, _)| epoch == controller.circuit_epoch())
-                    .map(|(_, ready)| ready)
-                    .or_else(|| controller.installed_ready_time(circuits))
-                {
-                    // The request is a no-op: the circuits are installed on every
-                    // rail, so it resolves to `max(now, slowest circuit ready)`.
-                    // Either prep proved it and no install invalidated the answer
-                    // (the epoch check — this is the reconfiguration work that used
-                    // to serialize the parallel commit phase), or one fresh
-                    // O(group circuits) walk just did.
-                    controller.note_noop_request();
-                    let start = ready.max(now);
-                    (start, start.duration_since(now), SimDuration::ZERO)
-                } else {
-                    // Not (fully) installed: the stateful reconfiguration path.
-                    let provisioned = config.provisioning_active(iteration) && shim.can_provision();
-                    let requested_at = if provisioned {
-                        // Speculative request: issued as soon as the previous traffic
-                        // on the affected circuits completed (Fig. 5b). Back-dating
-                        // further than one reconfiguration latency buys nothing (the
-                        // circuits would be ready before the collective is issued
-                        // anyway) but would tear down the old circuits earlier than
-                        // necessary, so the request time is clamped to
-                        // `issue time − reconfiguration latency`.
-                        let earliest_useful = SimTime::from_nanos(
-                            now.as_nanos()
-                                .saturating_sub(config.reconfig_latency.as_nanos()),
-                        );
-                        controller.ports_free_at(circuits).max(earliest_useful)
-                    } else {
-                        now
-                    };
-                    let ready = controller.request(circuit_group, circuits, requested_at);
-                    let start = ready.max(now);
-                    (start, start.duration_since(now), SimDuration::ZERO)
-                }
-            }
-        };
-
-        let start = start + datapath_latency;
-        let end = start + duration;
-
-        if let Backend::Optical(controller) = backend {
-            if scaleout && !offloaded {
-                controller.occupy(circuits, end);
-            }
-        }
-
-        CommRecord {
-            task: id,
-            label,
-            axis,
-            kind,
-            group,
-            bytes,
-            scaleout,
-            // Offloaded traffic never touches the rails, so it carries no rail list and
-            // is invisible to the per-rail window/phase analysis — which is the point.
-            rails: if offloaded {
-                Vec::new()
-            } else {
-                circuits.rails()
-            },
-            issued_at: now,
-            start,
-            end,
-            circuit_wait,
-        }
+        self.sim.run_scenario();
+        self.sim.take_job_result(0)
     }
 }
 
@@ -769,7 +112,9 @@ pub fn baseline_of(config: &OpusConfig) -> OpusConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use railsim_topology::{ClusterSpec, NodePreset};
+    use railsim_collectives::ParallelismAxis;
+    use railsim_sim::SimDuration;
+    use railsim_topology::{ClusterSpec, GpuId, NodePreset};
     use railsim_workload::{ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig};
 
     fn paper_setup() -> (Cluster, TrainingDag) {

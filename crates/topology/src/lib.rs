@@ -36,6 +36,7 @@
 pub mod cluster;
 pub mod fabric;
 pub mod fattree;
+pub mod health;
 pub mod ids;
 pub mod ocs;
 pub mod path;
@@ -44,6 +45,7 @@ pub mod spec;
 pub use cluster::Cluster;
 pub use fabric::{ElectricalRailFabric, OpticalRailFabric, RailConnectivity, ScaleOutFabric};
 pub use fattree::{ClosDimensions, FatTreeDimensions};
+pub use health::RailHealth;
 pub use ids::{GpuId, NodeId, PortId, RailId};
 pub use ocs::{Circuit, CircuitConfig, Ocs, OcsError};
 pub use path::{CommPath, PathKind};

@@ -36,6 +36,28 @@ use railsim_topology::GpuId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
+/// Identifier of a job in a multi-job scenario.
+///
+/// A [`TrainingDag`] describes *one* job's iteration; scenario drivers that multiplex
+/// several jobs over one shared fabric tag every job-scoped piece of state (contexts,
+/// metrics, circuit ownership) with the job's id. Ids are dense: job `i` of a scenario
+/// is `JobId(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
 /// Identifier of a task within a [`TrainingDag`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
@@ -307,6 +329,89 @@ impl TrainingDag {
             ));
         }
         Ok(())
+    }
+
+    /// The largest rank referenced by any task (the job needs `max_rank() + 1` GPUs).
+    pub fn max_rank(&self) -> u32 {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.ranks().iter())
+            .map(|g| g.0)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Rebases the DAG for placement in a multi-job scenario: every rank is shifted by
+    /// `gpu_offset` (the job's first GPU in the shared cluster) and every group id by
+    /// `group_id_offset` (so two jobs' groups never collide in shared controller
+    /// state). Task ids, labels, dependencies and traffic are untouched, so a rebased
+    /// job simulates exactly like the original, just elsewhere in the cluster.
+    ///
+    /// `rebase(0, 0)` returns a plain clone — rank sets and group ids are already
+    /// canonical, and scenario drivers rely on that for byte-identical single-job
+    /// compatibility.
+    pub fn rebase(&self, gpu_offset: u32, group_id_offset: u32) -> TrainingDag {
+        if gpu_offset == 0 && group_id_offset == 0 {
+            return self.clone();
+        }
+        let shift_gpu = |g: GpuId| GpuId(g.0 + gpu_offset);
+        let shift_group = |g: GroupId| GroupId(g.0 + group_id_offset);
+        let mut tasks = TaskArena::with_capacity(self.tasks.len());
+        let mut shifted_ranks: Vec<GpuId> = Vec::new();
+        for task in &self.tasks {
+            shifted_ranks.clear();
+            shifted_ranks.extend(task.ranks().iter().copied().map(shift_gpu));
+            let kind = match &task.kind {
+                TaskKind::Compute { duration } => TaskKind::Compute {
+                    duration: *duration,
+                },
+                TaskKind::Collective {
+                    group,
+                    kind,
+                    axis,
+                    bytes,
+                } => TaskKind::Collective {
+                    group: shift_group(*group),
+                    kind: *kind,
+                    axis: *axis,
+                    bytes: *bytes,
+                },
+                TaskKind::PointToPoint {
+                    src,
+                    dst,
+                    axis,
+                    bytes,
+                } => TaskKind::PointToPoint {
+                    src: shift_gpu(*src),
+                    dst: shift_gpu(*dst),
+                    axis: *axis,
+                    bytes: *bytes,
+                },
+            };
+            tasks.alloc(Task {
+                id: task.id,
+                kind,
+                participants: crate::intern::RankSet::intern(&shifted_ranks),
+                deps: task.deps.clone(),
+                label: task.label,
+                microbatch: task.microbatch,
+                layer: task.layer,
+            });
+        }
+        let groups = self
+            .groups
+            .values()
+            .map(|g| {
+                let id = shift_group(g.id);
+                let ranks = g.ranks.iter().copied().map(shift_gpu).collect();
+                (id, CommGroup::new(id, g.axis, ranks))
+            })
+            .collect();
+        TrainingDag {
+            tasks,
+            groups,
+            config: self.config.clone(),
+        }
     }
 
     /// The tasks a given rank participates in, in id order.

@@ -49,7 +49,7 @@ pub mod windows;
 
 pub use arena::{Arena, Handle};
 pub use compute::{ComputeModel, GpuSpec};
-pub use dag::{DagBuilder, Task, TaskArena, TaskId, TaskKind, TrainingDag};
+pub use dag::{DagBuilder, JobId, Task, TaskArena, TaskId, TaskKind, TrainingDag};
 pub use intern::{LabelId, RankSet};
 pub use model::{DType, ModelConfig};
 pub use parallelism::{DataParallelKind, ParallelismConfig};

@@ -32,10 +32,22 @@
 //! let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
 //! let dag = DagBuilder::new(model, parallel, compute).build();
 //!
-//! // Simulate photonic rails with a 25 ms piezo OCS and provisioning.
+//! // Simulate photonic rails with a 25 ms piezo OCS and provisioning. `Scenario` is
+//! // the entry point: one or more jobs on a shared cluster, plus an injected event
+//! // timeline (rail failures/recoveries, OCS degradation, late job arrivals).
 //! let config = OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2);
-//! let result = OpusSimulator::new(cluster, dag, config).run();
-//! println!("steady-state iteration: {}", result.steady_state_iteration_time());
+//! let result = Scenario::new(cluster)
+//!     .job(dag, config)
+//!     .inject(SimTime::from_millis(5), ScenarioEvent::RailDown(RailId(0)))
+//!     .inject(SimTime::from_millis(80), ScenarioEvent::RailUp(RailId(0)))
+//!     .run();
+//! println!(
+//!     "steady-state iteration: {}",
+//!     result.job(JobId(0)).result.steady_state_iteration_time()
+//! );
+//! println!("rail 0 outages: {}", result.fleet.rail_failures[0]);
+//! // Single pristine jobs keep the classic wrapper (byte-identical to a one-job
+//! // scenario): `OpusSimulator::new(cluster, dag, config).run()`.
 //! ```
 //!
 //! The `examples/` directory contains runnable end-to-end scenarios and the
@@ -55,15 +67,15 @@ pub use railsim_workload as workload;
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use opus::{
-        window_cdf, windows_on_rail, OpusConfig, OpusController, OpusShim, OpusSimulator,
-        ReconfigPolicy, SimulationResult,
+        window_cdf, windows_on_rail, JobPlacement, OpusConfig, OpusController, OpusShim,
+        OpusSimulator, ReconfigPolicy, Scenario, ScenarioEvent, ScenarioResult, SimulationResult,
     };
     pub use railsim_collectives::{Algorithm, CollectiveKind, CommGroup, GroupId, ParallelismAxis};
     pub use railsim_cost::{FabricKind, GpuBackendCostModel};
     pub use railsim_sim::{Bandwidth, Bytes, SimDuration, SimTime};
     pub use railsim_topology::{Cluster, ClusterSpec, GpuId, NicConfig, NodePreset, RailId};
     pub use railsim_workload::{
-        ComputeModel, DagBuilder, DataParallelKind, GpuSpec, ModelConfig, ParallelismConfig,
+        ComputeModel, DagBuilder, DataParallelKind, GpuSpec, JobId, ModelConfig, ParallelismConfig,
         PipelineSchedule, TrainingDag,
     };
 }

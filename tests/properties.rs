@@ -274,4 +274,68 @@ proptest! {
         prop_assert_eq!(a.steady_state_iteration_time(), b.steady_state_iteration_time());
         prop_assert_eq!(a.total_reconfigs(), b.total_reconfigs());
     }
+
+    // ---- scenario driver ----------------------------------------------------------
+
+    #[test]
+    fn injected_timelines_are_byte_identical_across_shards_and_threads(
+        pulses in proptest::collection::vec((0u64..400, 1u64..200, 0u32..4), 0..3),
+        degrade in (0u64..400, 0u32..5, 0u64..100),
+        arrival_ms in 0u64..300,
+        seed in 0u64..1000,
+        shards in 1u32..65,
+        threads in 1u32..9,
+    ) {
+        // Any timeline of rail-down/up pulses, OCS degradation and a late job
+        // arrival, over a two-job scenario on shared rails, must serialize
+        // byte-identically for every engine lane count and worker-thread count —
+        // the same contract the single-job determinism suite pins, extended to the
+        // scenario driver's external event class.
+        let build = |config: OpusConfig| {
+            let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 8).build();
+            let model = ModelConfig::tiny_test();
+            let parallel = ParallelismConfig::paper_llama3_8b();
+            let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+            let dag = DagBuilder::new(model, parallel, compute).build();
+            let mut scenario = Scenario::new(cluster)
+                .job(dag.clone(), config)
+                .job(dag, config)
+                .inject(
+                    SimTime::from_millis(arrival_ms),
+                    ScenarioEvent::JobArrival { job: JobId(1) },
+                );
+            for &(down_ms, up_delta_ms, rail) in &pulses {
+                scenario = scenario
+                    .inject(
+                        SimTime::from_millis(down_ms),
+                        ScenarioEvent::RailDown(RailId(rail)),
+                    )
+                    .inject(
+                        SimTime::from_millis(down_ms + up_delta_ms),
+                        ScenarioEvent::RailUp(RailId(rail)),
+                    );
+            }
+            // `rail == 4` doubles as "no degradation" (the cluster has 4 rails).
+            let (at_ms, rail, latency_ms) = degrade;
+            if rail < 4 {
+                scenario = scenario.inject(
+                    SimTime::from_millis(at_ms),
+                    ScenarioEvent::OcsDegraded {
+                        rail: RailId(rail),
+                        reconfig_latency: SimDuration::from_millis(latency_ms),
+                    },
+                );
+            }
+            serde_json::to_string_pretty(&scenario.run()).expect("scenario results serialize")
+        };
+        let base = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(2)
+            .with_jitter(0.05, seed);
+        let reference = build(base);
+        let variant = build(base.with_event_shards(shards).with_parallel_threads(threads));
+        prop_assert_eq!(
+            reference, variant,
+            "scenario diverged at {} shards x {} threads", shards, threads
+        );
+    }
 }

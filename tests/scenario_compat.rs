@@ -1,0 +1,148 @@
+//! Single-job compatibility pins: the scenario-driver redesign must be invisible to
+//! classic single-job runs.
+//!
+//! `OpusSimulator` is now a thin wrapper over a one-job `Scenario`; these tests pin
+//! its serialized metrics against FNV-1a hashes captured on the pre-redesign
+//! simulator (the "seed"). If any of them moves, the refactor changed observable
+//! simulation behavior — which the redesign explicitly promises not to do.
+//!
+//! The 1k-GPU pins are `#[ignore]`d (release-mode CI runs them explicitly: a debug
+//! run of a 90k-task DAG is needlessly slow for the default suite).
+
+use photonic_rails::prelude::*;
+
+/// FNV-1a, the same hash the seed capture used. Stable, dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn tiny_setup() -> (Cluster, TrainingDag) {
+    let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build();
+    let model = ModelConfig::tiny_test();
+    let parallel = ParallelismConfig::paper_llama3_8b();
+    let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+    let dag = DagBuilder::new(model, parallel, compute).build();
+    (cluster, dag)
+}
+
+fn serialized(cluster: Cluster, dag: TrainingDag, config: OpusConfig) -> String {
+    let result = OpusSimulator::new(cluster, dag, config).run();
+    serde_json::to_string_pretty(&result).expect("simulation results serialize")
+}
+
+/// The seed hashes, captured at the pre-redesign commit with three iterations and
+/// jitter (0.05, seed 42). The host-offload combinations cover the datapath-latency
+/// edge (offloaded electrical traffic still pays the switch latency).
+const TINY_SEED: &[(&str, u64)] = &[
+    ("electrical", 0x329a91ecb689afd4),
+    ("on-demand-25", 0x3037ccb77c04c2de),
+    ("provisioned-25", 0xe31df525dcf0cc14),
+    ("electrical-offload", 0xa7e274a7081b8f6d),
+    ("provisioned-offload", 0x14ccf3e72b3a59f3),
+];
+
+fn tiny_config(name: &str) -> OpusConfig {
+    use photonic_rails::opus::HostOffload;
+    let base = match name {
+        "electrical" => OpusConfig::electrical(),
+        "on-demand-25" => OpusConfig::on_demand(SimDuration::from_millis(25)),
+        "provisioned-25" => OpusConfig::provisioned(SimDuration::from_millis(25)),
+        "electrical-offload" => {
+            OpusConfig::electrical().with_host_offload(HostOffload::frontend_100g())
+        }
+        "provisioned-offload" => OpusConfig::provisioned(SimDuration::from_millis(25))
+            .with_host_offload(HostOffload::frontend_100g()),
+        other => panic!("unknown config {other}"),
+    };
+    base.with_iterations(3).with_jitter(0.05, 42)
+}
+
+#[test]
+fn single_job_wrapper_matches_the_seed_metrics() {
+    for &(name, expected) in TINY_SEED {
+        let (cluster, dag) = tiny_setup();
+        let json = serialized(cluster, dag, tiny_config(name));
+        assert_eq!(
+            fnv1a(json.as_bytes()),
+            expected,
+            "{name}: serialized metrics diverged from the pre-redesign seed"
+        );
+    }
+}
+
+#[test]
+fn wrapper_and_single_job_scenario_serialize_identically() {
+    // The wrapper is *defined* as a one-job scenario; the serialized per-job result
+    // must be byte-identical to the wrapper's output.
+    for &(name, _) in TINY_SEED {
+        let (cluster, dag) = tiny_setup();
+        let via_wrapper = serialized(cluster.clone(), dag.clone(), tiny_config(name));
+        let mut scenario = Scenario::new(cluster).job(dag, tiny_config(name)).run();
+        let via_scenario = serde_json::to_string_pretty(&scenario.jobs.remove(0).result)
+            .expect("scenario results serialize");
+        assert_eq!(via_wrapper, via_scenario, "{name}");
+    }
+}
+
+// ---- 1k-GPU pins (release-mode CI smoke; run with `--ignored`) ---------------------
+
+fn scaled_setup_1k() -> (Cluster, TrainingDag) {
+    let num_gpus = 1024u32;
+    let cluster = ClusterSpec::from_preset(NodePreset::DgxH200, num_gpus / 8).build();
+    let parallel = ParallelismConfig {
+        tensor: 8,
+        sequence_parallel: true,
+        context: 1,
+        expert: 1,
+        data: num_gpus / 64,
+        data_kind: DataParallelKind::FullySharded,
+        pipeline: 8,
+        num_microbatches: 8,
+        microbatch_size: 1,
+        seq_len: 8192,
+    };
+    let model = ModelConfig::llama3_8b();
+    let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::h200());
+    let dag = DagBuilder::new(model, parallel, compute).build();
+    (cluster, dag)
+}
+
+fn scale_config_1k() -> OpusConfig {
+    OpusConfig::provisioned(SimDuration::from_millis(25))
+        .with_iterations(2)
+        .with_jitter(0.0, 1)
+}
+
+#[test]
+#[ignore = "1k-GPU release-mode pin; run explicitly (CI does) — slow in debug builds"]
+fn seed_pin_1k_gpus_electrical() {
+    let (cluster, dag) = scaled_setup_1k();
+    let config = OpusConfig {
+        policy: ReconfigPolicy::Electrical,
+        reconfig_latency: SimDuration::ZERO,
+        ..scale_config_1k()
+    };
+    let json = serialized(cluster, dag, config);
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        0xe2bc843895736f9b,
+        "1k-GPU electrical metrics diverged from the pre-redesign seed"
+    );
+}
+
+#[test]
+#[ignore = "1k-GPU release-mode pin; run explicitly (CI does) — slow in debug builds"]
+fn seed_pin_1k_gpus_optical_provisioned() {
+    let (cluster, dag) = scaled_setup_1k();
+    let json = serialized(cluster, dag, scale_config_1k());
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        0x16946823ed24f10a,
+        "1k-GPU optical metrics diverged from the pre-redesign seed"
+    );
+}
