@@ -7,7 +7,7 @@
 //! ```text
 //! table3_scalability [--gpus 1024,4096,10240,102400] [--iterations 2]
 //!                    [--parallel-threads N] [--policy electrical|optical|both]
-//!                    [--scenario clean|rail-flap|two-job] [--skip-sim]
+//!                    [--scenario clean|rail-flap|two-job] [--no-memo] [--skip-sim]
 //! ```
 //!
 //! `--gpus` accepts a comma-separated list of cluster sizes (positive multiples of
@@ -32,6 +32,10 @@
 //! * `two-job` — two half-size jobs packed side by side on the shared rails (needs a
 //!   GPU count that is a positive multiple of 128); one row per job, fleet-level
 //!   cross-job overlap counters attached.
+//!
+//! `--no-memo` disables steady-state iteration memoization (`with_memoization(false)`)
+//! so many-iteration runs re-step every iteration — the naive control for measuring
+//! the fast-forward speedup (both paths produce byte-identical metrics).
 //!
 //! `--skip-sim` prints only the OCS technology table.
 
@@ -116,6 +120,7 @@ struct Args {
     parallel_threads: u32,
     policy: PolicyFilter,
     scenario: ScenarioKind,
+    memoize: bool,
     skip_sim: bool,
 }
 
@@ -126,6 +131,7 @@ fn parse_args() -> Args {
         parallel_threads: 1,
         policy: PolicyFilter::Both,
         scenario: ScenarioKind::Clean,
+        memoize: true,
         skip_sim: false,
     };
     let mut args = std::env::args().skip(1);
@@ -173,6 +179,7 @@ fn parse_args() -> Args {
                     other => panic!("--scenario must be clean, rail-flap or two-job, got {other}"),
                 };
             }
+            "--no-memo" => parsed.memoize = false,
             "--skip-sim" => parsed.skip_sim = true,
             other => panic!("unknown argument {other}; see the crate docs"),
         }
@@ -270,6 +277,7 @@ fn run_scale_point(
     parallel_threads: u32,
     policy: PolicyFilter,
     scenario: ScenarioKind,
+    memoize: bool,
 ) -> Vec<ScaleRun> {
     // Reset the kernel's peak-RSS watermark so this point's reading covers only its
     // own DAG + simulator state (best-effort; cumulative where unsupported).
@@ -299,6 +307,9 @@ fn run_scale_point(
     let mut provisioned = scale_run_config(iterations);
     if parallel_threads > 1 {
         provisioned = provisioned.with_parallel_threads(parallel_threads);
+    }
+    if !memoize {
+        provisioned = provisioned.with_memoization(false);
     }
     let mut configs: Vec<(&'static str, OpusConfig)> = Vec::new();
     if policy != PolicyFilter::Optical {
@@ -464,6 +475,7 @@ fn main() {
             args.parallel_threads,
             args.policy,
             args.scenario,
+            args.memoize,
         ) {
             report.row(&[
                 run.num_gpus.to_string(),

@@ -108,6 +108,16 @@ pub struct OpusConfig {
     /// effects in global `(time, seq)` order — so, like `event_shards`, the thread
     /// count never changes simulation results, only wall-clock time.
     pub parallel_threads: Option<u32>,
+    /// Steady-state iteration memoization (default: enabled). When two consecutive
+    /// iterations of a job commit byte-identical timelines up to a constant time
+    /// offset — same communication records, same circuit waits, no reconfigurations —
+    /// the simulator stops re-stepping the DAG and replays the memoized iteration
+    /// with a shifted clock. Replayed iterations are byte-identical to naive
+    /// stepping (the determinism suites pin this), so the knob exists for A/B
+    /// measurement and as an escape hatch, not because results differ. Memoization
+    /// never engages with compute jitter, in multi-job scenarios, or across injected
+    /// external events; see EXPERIMENTS.md for the detection/invalidation semantics.
+    pub memoize_steady_state: bool,
 }
 
 impl OpusConfig {
@@ -149,6 +159,7 @@ impl OpusConfig {
             host_offload: None,
             event_shards: None,
             parallel_threads: None,
+            memoize_steady_state: true,
         }
     }
 
@@ -186,10 +197,28 @@ impl OpusConfig {
         self
     }
 
+    /// Enables or disables steady-state iteration memoization (enabled by default;
+    /// see [`OpusConfig::memoize_steady_state`]).
+    pub fn with_memoization(mut self, enabled: bool) -> Self {
+        self.memoize_steady_state = enabled;
+        self
+    }
+
     /// True when provisioning is active for the given iteration index (the first
     /// iteration always profiles).
     pub fn provisioning_active(&self, iteration: u32) -> bool {
         self.policy == ReconfigPolicy::Provisioned && iteration >= 1
+    }
+
+    /// True when the compute-jitter RNG is inert under this configuration: the
+    /// amplitude clamps to zero, so [`SimRng::jitter`] short-circuits to a factor of
+    /// 1.0 *without drawing* (mirroring the clamp in `railsim_sim::SimRng`). Steady
+    /// iterations then leave the RNG stream untouched, which is a precondition for
+    /// memoized replay staying byte-identical to naive stepping.
+    ///
+    /// [`SimRng::jitter`]: railsim_sim::SimRng::jitter
+    pub fn jitter_inert(&self) -> bool {
+        self.compute_jitter.clamp(0.0, 0.999_999) == 0.0
     }
 }
 
@@ -249,6 +278,23 @@ mod tests {
     #[should_panic(expected = "at least one event shard")]
     fn zero_event_shards_rejected() {
         let _ = OpusConfig::electrical().with_event_shards(0);
+    }
+
+    #[test]
+    fn memoization_defaults_on_and_can_be_disabled() {
+        let base = OpusConfig::provisioned(SimDuration::from_millis(25));
+        assert!(base.memoize_steady_state);
+        assert!(!base.with_memoization(false).memoize_steady_state);
+    }
+
+    #[test]
+    fn jitter_inertness_mirrors_the_rng_clamp() {
+        let base = OpusConfig::electrical();
+        assert!(!base.jitter_inert(), "the default jitter amplitude draws");
+        assert!(base.with_jitter(0.0, 1).jitter_inert());
+        // Negative amplitudes clamp to zero exactly like SimRng::jitter does.
+        assert!(base.with_jitter(-0.5, 1).jitter_inert());
+        assert!(!base.with_jitter(f64::NAN, 1).jitter_inert());
     }
 
     #[test]

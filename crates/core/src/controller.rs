@@ -16,7 +16,7 @@ use crate::circuits::GroupCircuits;
 use crate::metrics::ReconfigEvent;
 use railsim_collectives::GroupId;
 use railsim_sim::SimTime;
-use railsim_topology::{OpticalRailFabric, RailId};
+use railsim_topology::{CircuitConfig, OpticalRailFabric, RailId};
 
 /// The Opus controller: rail OCSes plus occupancy tracking and the reconfiguration log.
 ///
@@ -139,6 +139,39 @@ impl OpusController {
     pub fn note_noop_request(&mut self) {
         self.requests += 1;
         self.noop_requests += 1;
+    }
+
+    /// Advances the request counters by one steady iteration's worth at once. Used by
+    /// the memoized-iteration replay: the counter deltas of a steady iteration were
+    /// measured when the template was detected, and the replay applies them in bulk
+    /// exactly as the re-stepped iteration would have one by one.
+    pub fn replay_requests(&mut self, requests: u64, noops: u64) {
+        self.requests += requests;
+        self.noop_requests += noops;
+    }
+
+    /// Re-performs one reconfiguration from a memoized steady iteration: installs
+    /// `config` on `rail` starting at `start` (the template event's start plus the
+    /// replay shift), exactly as the request that produced the original event did.
+    /// Goes straight to the fabric — the conflict wait is already baked into `start`
+    /// — so matching state, per-circuit ready times, the circuit epoch and the
+    /// set-up/torn-down counters all advance precisely as a naive re-step would have
+    /// left them. Bumps the per-rail lifetime counter but does *not* log an event
+    /// (the replay emits the shifted template events directly) or touch the request
+    /// counters (see [`OpusController::replay_requests`]). Returns when the circuits
+    /// are ready.
+    pub fn replay_install(
+        &mut self,
+        rail: RailId,
+        config: &CircuitConfig,
+        start: SimTime,
+    ) -> SimTime {
+        let ready = self
+            .fabric
+            .install(rail, config, start)
+            .unwrap_or_else(|e| panic!("replayed circuit install failed on {rail}: {e}"));
+        self.lifetime_by_rail[rail.index()] += 1;
+        ready
     }
 
     /// Handles a reconfiguration request for `group`: installs the group's circuits on

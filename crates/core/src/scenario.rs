@@ -42,6 +42,13 @@
 //! always applies *before* every task event at `T` (task events carry later sequence
 //! numbers). Two injections at the same time apply in the order they were declared.
 //!
+//! Single-job runs with an inert jitter RNG additionally memoize their steady state:
+//! once two consecutive iterations commit byte-identical timelines up to a constant
+//! offset, later unperturbed iterations are replayed with a shifted clock instead of
+//! re-stepped — byte-identical results at a fraction of the wall-clock cost. See
+//! [`MemoState`] for the detection and invalidation semantics and
+//! [`OpusConfig::memoize_steady_state`](crate::OpusConfig) for the knob.
+//!
 //! ## Failure and recovery model
 //!
 //! `RailDown(r)` marks rail `r` unhealthy and tears down every circuit on its OCS.
@@ -252,7 +259,8 @@ impl ScenarioResult {
 /// the engine's `(time, seq)` order.
 /// The job index rides in a `u16` so the whole event stays 8 bytes — the engine's
 /// heap entries are the hot path's working set, and a wider event measurably slows
-/// the 100k-GPU single-job regime. 65k concurrent jobs is far beyond any scenario.
+/// the 100k-GPU single-job regime. 65k concurrent jobs is far beyond any scenario
+/// ([`ScenarioSim::build`] rejects more, so the index can never silently alias).
 #[derive(Debug, Clone, Copy)]
 enum SimEvent {
     /// All dependencies of the job's task have completed.
@@ -261,6 +269,11 @@ enum SimEvent {
     Done(u16, TaskId),
     /// The injected external event at this index of the (sorted) timeline.
     External(u32),
+    /// The job's current iteration is a memoized steady-state replay: this single
+    /// event, scheduled at the iteration's predicted end, stands in for the whole
+    /// per-task event cascade. Committing it emits the shifted iteration result and
+    /// replays the controller-side effects (see [`ScenarioSim::commit_fast_forward`]).
+    FastForward(u16),
 }
 
 /// One deduplicated circuit-demand entry: every task of a communication group shares
@@ -304,6 +317,61 @@ struct Injection {
     recover_at: Option<SimTime>,
 }
 
+/// Steady-state iteration memoization state of one job.
+///
+/// ## Detection
+///
+/// After each naively stepped iteration the driver compares it with its predecessor
+/// via [`IterationResult::shifted_replay_of`] — an exact comparison of the committed
+/// timelines, made meaningful by the engine's byte-determinism: same records, same
+/// circuit waits, same reconfiguration pattern, all timestamps moved by one constant
+/// offset (the controller's request-counter deltas must repeat too). Two such
+/// iterations pin *everything* time-varying: compute durations are constant (the
+/// jitter RNG must be inert, see [`OpusConfig::jitter_inert`]), the circuit cycle is
+/// periodic (a provisioned run re-walks the same reconfiguration sequence every
+/// iteration; a reconfiguration-free run trivially so), and any absolute controller
+/// state (port occupancy, OCS ready times) either shifted along or was already
+/// dominated by the advancing clock — so every later unperturbed iteration is the
+/// same iteration shifted again. Each fast-forward replays the template's
+/// controller-side effects at shifted times (port occupancy, circuit installs,
+/// request counters), so the shared state a later naive iteration reads is exactly
+/// what re-stepping would have left.
+///
+/// ## Invalidation
+///
+/// Every applied [`ScenarioEvent`] clears the template *and* forbids detection pairs
+/// that straddle the perturbed iteration (`min_pair`), because an iteration that ran
+/// under a changing fabric proves nothing about the post-change steady state. A
+/// fast-forward is only scheduled when the next unapplied injection lies strictly
+/// beyond the replayed window, so rail-flap timelines degrade to naive stepping
+/// around the fault and re-memoize on fresh evidence afterwards. Multi-job scenarios
+/// disable memoization outright (`enabled`): jobs share the fabric, so one job's
+/// iterations alone cannot witness steady state.
+struct MemoState {
+    /// Structurally allowed for this job: the config knob is on, the jitter RNG is
+    /// inert, and the scenario runs a single job.
+    enabled: bool,
+    /// Index into `completed` of the detected steady-state template iteration.
+    template: Option<usize>,
+    /// Controller request counters `(requests, noop_requests)` at the end of the
+    /// last committed iteration, for measuring per-iteration deltas.
+    counters_at_finish: (u64, u64),
+    /// The counter delta of the most recently committed iteration.
+    last_delta: Option<(u64, u64)>,
+    /// The counter delta of one steady iteration, replayed in bulk per fast-forward.
+    template_delta: (u64, u64),
+    /// Per template reconfiguration event: the `circuit_pool` slot whose circuits the
+    /// event installed, so the replay can re-perform the install without a search.
+    template_slots: Vec<u32>,
+    /// Earliest iteration index admissible as the *first* member of a detection
+    /// pair. Starts at 1 (iteration 0 profiles: the shim observes, provisioning is
+    /// still off) and moves past every iteration perturbed by an injection.
+    min_pair: u32,
+    /// Iterations replayed from the memo instead of re-stepped (observability only;
+    /// never serialized, so golden pins are unaffected).
+    fast_forwarded: u64,
+}
+
 /// Per-job context: everything a standalone simulator used to own globally, now
 /// multiplexed over the shared engine and fabric.
 struct JobContext {
@@ -336,6 +404,7 @@ struct JobContext {
     /// Done events of the current iteration still to commit.
     done_left: usize,
     completed: Vec<IterationResult>,
+    memo: MemoState,
 }
 
 /// The scale-out network backend shared by every job of the scenario.
@@ -386,8 +455,12 @@ struct Fleet {
     port_owner: Vec<u32>,
     ports_per_gpu: u8,
     rail_busy: Vec<SimDuration>,
-    /// Per rail: latest transfer end seen and the job that produced it.
-    rail_last: Vec<(SimTime, u32)>,
+    /// Per rail: the latest transfer end seen *per job* (a bounded small map, one
+    /// entry per job that ever used the rail, linearly scanned). A single latest-end
+    /// slot is not enough: when one job's long transfer holds the slot, overlaps of
+    /// that same job's next transfers against *other* jobs' shorter in-flight
+    /// transfers would go uncounted (three-way interleavings undercounted).
+    rail_last: Vec<Vec<(u32, SimTime)>>,
     overlaps: Vec<u64>,
     port_takeovers: u64,
     injections_applied: usize,
@@ -403,13 +476,27 @@ impl Fleet {
     fn note_transfer(&mut self, job: u32, circuits: &GroupCircuits, start: SimTime, end: SimTime) {
         for (&rail, config) in &circuits.per_rail {
             let i = rail.index();
+            debug_assert!(
+                self.rail_busy[i]
+                    .checked_add(end.duration_since(start))
+                    .is_some(),
+                "rail_busy[{i}] overflowed u64 nanoseconds — the saturating clamp would \
+                 silently freeze the fleet counter"
+            );
             self.rail_busy[i] = self.rail_busy[i].saturating_add(end.duration_since(start));
-            let (last_end, last_job) = self.rail_last[i];
-            if start < last_end && last_job != job {
+            // An overlap is counted when any *other* job still had a transfer in
+            // flight on the rail when this one started (at most once per transfer
+            // per rail, like the pre-fix counter).
+            let entries = &mut self.rail_last[i];
+            if entries
+                .iter()
+                .any(|&(other, last_end)| other != job && start < last_end)
+            {
                 self.overlaps[i] += 1;
             }
-            if end > last_end {
-                self.rail_last[i] = (end, job);
+            match entries.iter_mut().find(|(other, _)| *other == job) {
+                Some(entry) => entry.1 = entry.1.max(end),
+                None => entries.push((job, end)),
             }
             for circuit in config.circuits() {
                 for port in [circuit.a(), circuit.b()] {
@@ -476,6 +563,12 @@ impl ScenarioSim {
             jobs.len() <= u16::MAX as usize,
             "a scenario carries the job index in a u16 event field; {} jobs exceed it",
             jobs.len()
+        );
+        assert!(
+            injections.len() <= u32::MAX as usize,
+            "a scenario carries the injection index in a u32 event field; {} injections \
+             exceed it",
+            injections.len()
         );
         let gpus_per_node = cluster.gpus_per_node().max(1);
 
@@ -615,6 +708,15 @@ impl ScenarioSim {
         };
         let num_rails = cluster.num_rails() as usize;
         let multi_job = contexts.len() > 1;
+        if multi_job {
+            // Jobs share the fabric, so one job's own iterations cannot witness
+            // steady state: another job's transfers move the shared port occupancy
+            // and circuit set under it at any time. Multi-job scenarios therefore
+            // always step naively — the sanctioned graceful degradation.
+            for ctx in &mut contexts {
+                ctx.memo.enabled = false;
+            }
+        }
         let dense_ports = if multi_job {
             cluster.num_gpus() as usize * cluster.ports_per_gpu() as usize
         } else {
@@ -628,7 +730,7 @@ impl ScenarioSim {
             port_owner: vec![NO_JOB; dense_ports],
             ports_per_gpu: cluster.ports_per_gpu(),
             rail_busy: vec![SimDuration::ZERO; num_rails],
-            rail_last: vec![(SimTime::ZERO, NO_JOB); num_rails],
+            rail_last: vec![Vec::new(); num_rails],
             overlaps: vec![0; num_rails],
             port_takeovers: 0,
             injections_applied: 0,
@@ -685,6 +787,19 @@ impl ScenarioSim {
             total_circuit_wait: SimDuration::ZERO,
             done_left: 0,
             completed: Vec::new(),
+            memo: MemoState {
+                // Jitter must be inert: a drawing RNG makes every iteration unique
+                // *and* replay would have to reproduce the stream's advancement.
+                // `build` additionally disables the memo for multi-job scenarios.
+                enabled: config.memoize_steady_state && config.jitter_inert(),
+                template: None,
+                counters_at_finish: (0, 0),
+                last_delta: None,
+                template_delta: (0, 0),
+                template_slots: Vec::new(),
+                min_pair: 1,
+                fast_forwarded: 0,
+            },
         }
     }
 
@@ -837,6 +952,13 @@ impl ScenarioSim {
         self.fleet.backend.controller()
     }
 
+    /// Number of iterations one job fast-forwarded from its steady-state memo
+    /// instead of re-stepping. Observability only — deliberately not part of any
+    /// serialized result, so the golden pins stay byte-identical to the naive path.
+    pub(crate) fn job_memoized_iterations(&self, job: usize) -> u64 {
+        self.jobs[job].memo.fast_forwarded
+    }
+
     /// Takes one job's completed iterations (used by the single-job wrapper to hand
     /// the result out without cloning a multi-million-record vector).
     pub(crate) fn take_job_result(&mut self, job: usize) -> SimulationResult {
@@ -917,6 +1039,12 @@ impl ScenarioSim {
                 for rec in &it.comm_records {
                     for rail in &rec.rails {
                         let slot = &mut self.fleet.rail_busy[rail.index()];
+                        debug_assert!(
+                            slot.checked_add(rec.transfer_time()).is_some(),
+                            "rail_busy[{}] overflowed u64 nanoseconds — the saturating \
+                             clamp would silently freeze the fleet counter",
+                            rail.index()
+                        );
                         *slot = slot.saturating_add(rec.transfer_time());
                     }
                 }
@@ -968,7 +1096,8 @@ impl ScenarioSim {
     /// Finalizes job `j`'s just-completed iteration and starts the next one (or
     /// retires the job).
     fn finish_iteration(&mut self, j: usize, engine: &mut ShardedEngine<SimEvent>) {
-        let ctx = &mut self.jobs[j];
+        let ScenarioSim { jobs, fleet, .. } = &mut *self;
+        let ctx = &mut jobs[j];
         debug_assert!(
             ctx.remaining.iter().all(|&r| r == 0),
             "every task must have executed"
@@ -991,8 +1120,172 @@ impl ScenarioSim {
             ctx.shim.finish_profiling();
         }
         ctx.iteration += 1;
-        if ctx.iteration < ctx.config.iterations {
+        // Steady-state detection: an exact byte-comparison of the just-committed
+        // timeline against its predecessor's, shifted by the iteration period, plus
+        // a repeat of the controller's request-counter delta. Both members of the
+        // pair must postdate the profiling iteration and the last applied injection
+        // (`min_pair`); see [`MemoState`] for why a match makes every later
+        // unperturbed iteration a shifted replay.
+        if ctx.memo.enabled {
+            let counters = fleet
+                .backend
+                .controller()
+                .map_or((0, 0), |c| (c.requests(), c.noop_requests()));
+            let delta = (
+                counters.0 - ctx.memo.counters_at_finish.0,
+                counters.1 - ctx.memo.counters_at_finish.1,
+            );
+            if ctx.memo.template.is_none() && ctx.completed.len() >= 2 {
+                let m = ctx.completed.len() - 1;
+                if (m - 1) as u32 >= ctx.memo.min_pair
+                    && ctx.memo.last_delta == Some(delta)
+                    && ctx.completed[m].shifted_replay_of(&ctx.completed[m - 1])
+                {
+                    // The replay re-performs the template's installs; resolve each
+                    // event's circuits to its pool slot once, up front.
+                    ctx.memo.template_slots = ctx.completed[m]
+                        .reconfig_events
+                        .iter()
+                        .map(|ev| {
+                            ctx.circuit_pool
+                                .iter()
+                                .position(|slot| slot.group == ev.group)
+                                .expect("a logged reconfiguration names a pooled group")
+                                as u32
+                        })
+                        .collect();
+                    ctx.memo.template = Some(m);
+                    ctx.memo.template_delta = delta;
+                }
+            }
+            ctx.memo.counters_at_finish = counters;
+            ctx.memo.last_delta = Some(delta);
+        }
+        if ctx.iteration < ctx.config.iterations && !self.try_fast_forward(j, end, engine) {
             self.start_iteration(j, end, engine);
+        }
+    }
+
+    /// Schedules job `j`'s next iteration as a memoized fast-forward when a
+    /// steady-state template exists and the replayed window `(at, at + period]` is
+    /// provably free of external events. Returns false when the iteration must be
+    /// stepped naively.
+    fn try_fast_forward(
+        &mut self,
+        j: usize,
+        at: SimTime,
+        engine: &mut ShardedEngine<SimEvent>,
+    ) -> bool {
+        let ctx = &self.jobs[j];
+        let Some(template) = ctx.memo.template else {
+            return false;
+        };
+        let predicted_end = at + ctx.completed[template].iteration_time;
+        // Injections apply in timeline order, so the next unapplied one is the
+        // earliest. It must lie *strictly* beyond the predicted end: an external at
+        // exactly that time would commit before the replay event (externals carry
+        // the lowest sequence numbers) and could perturb same-instant task events
+        // the template baked in.
+        if let Some(next) = self.injections.get(self.fleet.injections_applied) {
+            if next.at <= predicted_end {
+                return false;
+            }
+        }
+        self.jobs[j].iter_start = at;
+        engine.schedule_at(ShardId(0), predicted_end, SimEvent::FastForward(j as u16));
+        true
+    }
+
+    /// Commits one memoized fast-forward: emits the template iteration shifted to
+    /// start at the job's `iter_start`, replays the controller-side effects a naive
+    /// re-step would have had (port occupancy, request counters), and schedules the
+    /// next iteration (fast-forwarded again, or naively when an injection comes into
+    /// range). By the steady-state argument on [`MemoState`] the emitted result is
+    /// byte-identical to naive stepping — the determinism suites pin this.
+    fn commit_fast_forward(
+        &mut self,
+        j: usize,
+        now: SimTime,
+        engine: &mut ShardedEngine<SimEvent>,
+    ) {
+        let ScenarioSim { jobs, fleet, .. } = self;
+        let ctx = &mut jobs[j];
+        let template = ctx
+            .memo
+            .template
+            .expect("a scheduled fast-forward has a template");
+        let template = &ctx.completed[template];
+        let shift = ctx.iter_start.duration_since(template.started_at);
+        debug_assert_eq!(
+            now,
+            ctx.iter_start + template.iteration_time,
+            "a fast-forward commits exactly at its predicted iteration end"
+        );
+        let comm_records: Vec<CommRecord> = template
+            .comm_records
+            .iter()
+            .map(|r| {
+                let mut rec = r.clone();
+                rec.issued_at += shift;
+                rec.start += shift;
+                rec.end += shift;
+                rec
+            })
+            .collect();
+        let reconfig_events: Vec<ReconfigEvent> = template
+            .reconfig_events
+            .iter()
+            .map(|ev| {
+                let mut ev = *ev;
+                ev.requested_at += shift;
+                ev.started_at += shift;
+                ev.ready_at += shift;
+                ev
+            })
+            .collect();
+        let iteration_time = template.iteration_time;
+        let total_circuit_wait = template.total_circuit_wait;
+        // Replay the controller-side state the re-stepped iteration would have left
+        // behind; it matters the moment an injection later breaks steadiness and the
+        // stateful request path resumes reading shared state. Port occupancy is a
+        // max-merge, so applying the recorded ends in bulk lands on exactly the
+        // per-event result. Each logged reconfiguration is re-performed against the
+        // fabric at its shifted start (the conflict wait is baked into `started_at`),
+        // advancing the matching cycle, per-circuit ready times, epoch and lifetime
+        // counters exactly as the naive iteration would have. Request counters move
+        // by the template's measured delta.
+        if let Some(controller) = fleet.backend.controller_mut() {
+            for (ev, &slot) in reconfig_events.iter().zip(&ctx.memo.template_slots) {
+                let config = &ctx.circuit_pool[slot as usize].circuits.per_rail[&ev.rail];
+                let ready = controller.replay_install(ev.rail, config, ev.started_at);
+                debug_assert_eq!(
+                    ready, ev.ready_at,
+                    "a replayed install must land on the template's ready time"
+                );
+            }
+            for rec in &comm_records {
+                if rec.scaleout && !rec.rails.is_empty() {
+                    let slot =
+                        &ctx.circuit_pool[ctx.task_circuit_slot[rec.task.0 as usize] as usize];
+                    controller.occupy(&slot.circuits, rec.end);
+                }
+            }
+            let (requests, noops) = ctx.memo.template_delta;
+            controller.replay_requests(requests, noops);
+            ctx.memo.counters_at_finish = (controller.requests(), controller.noop_requests());
+        }
+        ctx.completed.push(IterationResult {
+            iteration: ctx.iteration,
+            iteration_time,
+            started_at: ctx.iter_start,
+            comm_records,
+            reconfig_events,
+            total_circuit_wait,
+        });
+        ctx.memo.fast_forwarded += 1;
+        ctx.iteration += 1;
+        if ctx.iteration < ctx.config.iterations && !self.try_fast_forward(j, now, engine) {
+            self.start_iteration(j, now, engine);
         }
     }
 
@@ -1020,6 +1313,13 @@ impl ScenarioSim {
                 let ctx = &mut self.jobs[j];
                 ctx.finish[id.0 as usize] = end;
                 if let Some(rec) = record {
+                    debug_assert!(
+                        ctx.total_circuit_wait
+                            .checked_add(rec.circuit_wait)
+                            .is_some(),
+                        "total_circuit_wait overflowed u64 nanoseconds — the saturating \
+                         clamp would silently freeze the metric"
+                    );
                     ctx.total_circuit_wait =
                         ctx.total_circuit_wait.saturating_add(rec.circuit_wait);
                     ctx.comm_records.push(rec);
@@ -1057,12 +1357,24 @@ impl ScenarioSim {
                 }
             }
             SimEvent::External(idx) => self.apply_injection(idx as usize, now, engine),
+            SimEvent::FastForward(j) => self.commit_fast_forward(j as usize, now, engine),
         }
     }
 
     /// Applies one injected external event at its committed time.
     fn apply_injection(&mut self, idx: usize, now: SimTime, engine: &mut ShardedEngine<SimEvent>) {
         self.fleet.injections_applied += 1;
+        // Every external event invalidates steady-state memos: the template was
+        // recorded against the pre-event fabric, and the iteration the event landed
+        // in ran under a *changing* fabric, so it may not seed a new detection pair
+        // either. (A fast-forward in flight is impossible here — it is only
+        // scheduled when this injection lies strictly beyond its window.)
+        for ctx in &mut self.jobs {
+            if ctx.memo.enabled {
+                ctx.memo.template = None;
+                ctx.memo.min_pair = ctx.iteration + 1;
+            }
+        }
         let Injection {
             event, recover_at, ..
         } = self.injections[idx];
@@ -1108,7 +1420,7 @@ impl ScenarioSim {
                     optical_ready: self.plan_optical_ready(ctx, id),
                 })
             }
-            SimEvent::Done(..) | SimEvent::External(_) => None,
+            SimEvent::Done(..) | SimEvent::External(_) | SimEvent::FastForward(_) => None,
         }
     }
 
@@ -1687,6 +1999,167 @@ mod tests {
         let _ = Scenario::new(tiny_cluster(4))
             .job_placed(tiny_dag(), config, JobPlacement::AtGpu(8))
             .run();
+    }
+
+    /// Runs the scenario and reports job 0's fast-forward counter next to the
+    /// result (the counter is observability-only and not part of the result).
+    fn run_counting_ff(scenario: Scenario) -> (ScenarioResult, u64) {
+        let mut sim = ScenarioSim::build(scenario);
+        sim.run_scenario();
+        let ff = sim.job_memoized_iterations(0);
+        (sim.into_result(), ff)
+    }
+
+    #[test]
+    fn memoized_runs_match_naive_byte_for_byte() {
+        for (name, config) in [
+            (
+                "provisioned",
+                OpusConfig::provisioned(SimDuration::from_millis(5)),
+            ),
+            (
+                "on_demand",
+                OpusConfig::on_demand(SimDuration::from_millis(1)),
+            ),
+            ("electrical", OpusConfig::electrical()),
+        ] {
+            let config = config.with_iterations(8).with_jitter(0.0, 1);
+            let (memo, ff) =
+                run_counting_ff(Scenario::new(tiny_cluster(4)).job(tiny_dag(), config));
+            let naive = Scenario::new(tiny_cluster(4))
+                .job(tiny_dag(), config.with_memoization(false))
+                .run();
+            assert!(
+                ff >= 1,
+                "{name}: steady state must be detected and fast-forwarded (ff = {ff})"
+            );
+            assert_eq!(format!("{memo:?}"), format!("{naive:?}"), "{name}");
+        }
+    }
+
+    #[test]
+    fn memoization_gates_on_the_knob_and_on_jitter() {
+        let base = OpusConfig::provisioned(SimDuration::from_millis(5)).with_iterations(6);
+        let (_, ff_off) = run_counting_ff(
+            Scenario::new(tiny_cluster(4))
+                .job(tiny_dag(), base.with_jitter(0.0, 1).with_memoization(false)),
+        );
+        assert_eq!(ff_off, 0, "the knob must disable fast-forwarding");
+        let (_, ff_jitter) = run_counting_ff(
+            Scenario::new(tiny_cluster(4)).job(tiny_dag(), base.with_jitter(0.05, 7)),
+        );
+        assert_eq!(ff_jitter, 0, "a live jitter RNG must disable memoization");
+    }
+
+    #[test]
+    fn rail_flap_invalidates_memoization_and_still_matches_naive() {
+        let config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(10)
+            .with_jitter(0.0, 1);
+        let clean = clean_single(config);
+        let t4 = clean.iterations[4].started_at;
+        let dur = clean.iterations[4].iteration_time;
+        // Fail rail 0 a quarter into iteration 4 (after the memo armed), recover it
+        // half an iteration later.
+        let down = t4 + dur.mul_f64(0.25);
+        let up = down + dur.mul_f64(0.5);
+        let flapped = |config: OpusConfig| {
+            Scenario::new(tiny_cluster(4))
+                .job(tiny_dag(), config)
+                .inject(down, ScenarioEvent::RailDown(RailId(0)))
+                .inject(up, ScenarioEvent::RailUp(RailId(0)))
+        };
+        let (memo, ff) = run_counting_ff(flapped(config));
+        let naive = flapped(config.with_memoization(false)).run();
+        assert_eq!(format!("{memo:?}"), format!("{naive:?}"));
+        assert!(
+            ff >= 1,
+            "memoization must re-arm after the flap (fast-forwarded {ff})"
+        );
+        assert!(
+            ff <= 5,
+            "iterations around the flap must step naively (fast-forwarded {ff})"
+        );
+    }
+
+    #[test]
+    fn multi_job_scenarios_never_fast_forward() {
+        let config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(6)
+            .with_jitter(0.0, 1);
+        let mut sim = ScenarioSim::build(
+            Scenario::new(tiny_cluster(8))
+                .job(tiny_dag(), config)
+                .job(tiny_dag(), config),
+        );
+        sim.run_scenario();
+        assert_eq!(sim.job_memoized_iterations(0), 0);
+        assert_eq!(sim.job_memoized_iterations(1), 0);
+    }
+
+    #[test]
+    fn three_way_interleaved_overlaps_are_counted_against_every_tenant() {
+        use railsim_topology::CircuitConfig;
+        let cluster = tiny_cluster(4);
+        let num_rails = cluster.num_rails() as usize;
+        let mut fleet = Fleet {
+            backend: SharedBackend::Electrical(ElectricalRailFabric::for_cluster(&cluster)),
+            health: RailHealth::new(num_rails),
+            faults: false,
+            multi_job: true,
+            port_owner: vec![
+                NO_JOB;
+                cluster.num_gpus() as usize * cluster.ports_per_gpu() as usize
+            ],
+            ports_per_gpu: cluster.ports_per_gpu(),
+            rail_busy: vec![SimDuration::ZERO; num_rails],
+            rail_last: vec![Vec::new(); num_rails],
+            overlaps: vec![0; num_rails],
+            port_takeovers: 0,
+            injections_applied: 0,
+        };
+        let circuits = GroupCircuits {
+            per_rail: [(RailId(0), CircuitConfig::empty())].into_iter().collect(),
+            dropped_pairs: 0,
+            scaleup_pairs: 0,
+        };
+        let ms = SimTime::from_millis;
+        // Job 0 holds the rail for [0, 300); job 1 starts inside it: one overlap.
+        fleet.note_transfer(0, &circuits, ms(0), ms(300));
+        fleet.note_transfer(1, &circuits, ms(10), ms(20));
+        // Job 0's next transfer starts while job 1's is still in flight. The pre-fix
+        // single-slot tracker had already overwritten job 1's end with job 0's own
+        // long transfer and missed this overlap.
+        fleet.note_transfer(0, &circuits, ms(15), ms(30));
+        assert_eq!(fleet.overlaps[0], 2, "the three-way interleaving case");
+        // Job 0's long transfer still bounds its in-flight window for job 1.
+        fleet.note_transfer(1, &circuits, ms(200), ms(210));
+        assert_eq!(fleet.overlaps[0], 3);
+        // After every tenant drained, a late transfer overlaps nothing.
+        fleet.note_transfer(2, &circuits, ms(400), ms(410));
+        assert_eq!(fleet.overlaps[0], 3);
+        assert_eq!(
+            fleet.rail_busy[0],
+            SimDuration::from_millis(300 + 10 + 15 + 10 + 10)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs exceed it")]
+    fn more_jobs_than_a_u16_index_fail_fast() {
+        // 65,536 copies of an empty DAG: the index-width assert must fire in
+        // `build` before any per-job validation touches them.
+        let empty = TrainingDag {
+            tasks: railsim_workload::TaskArena::default(),
+            groups: std::collections::BTreeMap::new(),
+            config: ParallelismConfig::paper_llama3_8b(),
+        };
+        let config = OpusConfig::electrical();
+        let mut scenario = Scenario::new(tiny_cluster(1));
+        for _ in 0..(u16::MAX as usize + 1) {
+            scenario = scenario.job(empty.clone(), config);
+        }
+        let _ = scenario.run();
     }
 
     #[test]

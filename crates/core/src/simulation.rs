@@ -84,6 +84,15 @@ impl OpusSimulator {
         self.sim.run_scenario();
         self.sim.take_job_result(0)
     }
+
+    /// Number of iterations the last [`run`](OpusSimulator::run) fast-forwarded from
+    /// the steady-state memo instead of re-stepping (0 before running, with
+    /// memoization disabled, or when the run never reached steady state). Replayed
+    /// iterations are byte-identical to naive stepping; this counter is the only
+    /// observable difference.
+    pub fn memoized_iterations(&self) -> u64 {
+        self.sim.job_memoized_iterations(0)
+    }
 }
 
 /// Convenience: runs the same (cluster, DAG) under a list of configurations and
@@ -442,6 +451,34 @@ mod tests {
         assert_eq!(result.iterations.len(), 3);
         for w in result.iterations.windows(2) {
             assert!(w[1].started_at > w[0].started_at);
+        }
+    }
+
+    #[test]
+    fn memoized_runs_report_their_fast_forwards_and_match_the_naive_path() {
+        let (cluster, dag) = tiny_setup();
+        let base = OpusConfig::provisioned(SimDuration::from_millis(25))
+            .with_iterations(12)
+            .with_jitter(0.0, 1);
+        let mut memoized = OpusSimulator::new(cluster.clone(), dag.clone(), base);
+        let memo_result = memoized.run();
+        let mut naive = OpusSimulator::new(cluster, dag, base.with_memoization(false));
+        let naive_result = naive.run();
+        assert_eq!(naive.memoized_iterations(), 0);
+        assert!(
+            memoized.memoized_iterations() >= 8,
+            "a 12-iteration jitter-free run must fast-forward most of its tail, \
+             fast-forwarded {}",
+            memoized.memoized_iterations()
+        );
+        assert_eq!(memo_result.iterations.len(), naive_result.iterations.len());
+        for (a, b) in memo_result.iterations.iter().zip(&naive_result.iterations) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.iteration_time, b.iteration_time);
+            assert_eq!(a.started_at, b.started_at);
+            assert_eq!(a.comm_records, b.comm_records);
+            assert_eq!(a.reconfig_events, b.reconfig_events);
+            assert_eq!(a.total_circuit_wait, b.total_circuit_wait);
         }
     }
 }

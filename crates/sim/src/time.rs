@@ -184,6 +184,16 @@ impl SimDuration {
         SimDuration(self.0.saturating_add(other.0))
     }
 
+    /// Checked addition of another duration: `None` when the sum would overflow the
+    /// u64 nanosecond range. Lets accumulators that use [`saturating_add`] on their
+    /// release hot path assert in debug builds that the clamp never actually fires
+    /// (~585 years of simulated time; reachable only through a corrupted counter).
+    ///
+    /// [`saturating_add`]: SimDuration::saturating_add
+    pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(other.0).map(SimDuration)
+    }
+
     /// Multiplies the duration by an integer factor, saturating on overflow.
     pub fn saturating_mul(self, factor: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(factor))

@@ -338,4 +338,54 @@ proptest! {
             "scenario diverged at {} shards x {} threads", shards, threads
         );
     }
+
+    #[test]
+    fn memoized_fast_forward_is_byte_identical_to_naive(
+        flap in (100u64..2_000, 50u64..1_000, 0u32..5),
+        two_jobs in 0u32..2,
+        shards in 1u32..65,
+        threads in 1u32..9,
+    ) {
+        // `rail == 4` doubles as "no flap" (the cluster has 4 rails).
+        let two_jobs = two_jobs == 1;
+        let flap = (flap.2 < 4).then_some(flap);
+        // Steady-state memoization must be invisible: for any engine lane count and
+        // worker-thread count, a clean single-job run (memo engages), a rail-flap
+        // timeline (memo invalidates and re-arms) and a two-job scenario (memo
+        // disables itself) all serialize byte-identically to the naive path.
+        let build = |config: OpusConfig| {
+            let nodes = if two_jobs { 8 } else { 4 };
+            let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, nodes).build();
+            let model = ModelConfig::tiny_test();
+            let parallel = ParallelismConfig::paper_llama3_8b();
+            let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+            let dag = DagBuilder::new(model, parallel, compute).build();
+            let mut scenario = Scenario::new(cluster).job(dag.clone(), config);
+            if two_jobs {
+                scenario = scenario.job(dag, config);
+            }
+            if let Some((down_ms, up_delta_ms, rail)) = flap {
+                scenario = scenario
+                    .inject(
+                        SimTime::from_millis(down_ms),
+                        ScenarioEvent::RailDown(RailId(rail)),
+                    )
+                    .inject(
+                        SimTime::from_millis(down_ms + up_delta_ms),
+                        ScenarioEvent::RailUp(RailId(rail)),
+                    );
+            }
+            serde_json::to_string_pretty(&scenario.run()).expect("scenario results serialize")
+        };
+        let base = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(8)
+            .with_jitter(0.0, 1)
+            .with_event_shards(shards)
+            .with_parallel_threads(threads);
+        prop_assert_eq!(
+            build(base),
+            build(base.with_memoization(false)),
+            "memoized and naive paths diverged at {} shards x {} threads", shards, threads
+        );
+    }
 }

@@ -89,6 +89,32 @@ fn wrapper_and_single_job_scenario_serialize_identically() {
     }
 }
 
+#[test]
+fn memoized_steady_state_matches_the_naive_pin() {
+    // Six jitter-free iterations: the memo detects steady state at iteration 2 and
+    // fast-forwards the rest. Both paths must land on one pinned hash — the hash was
+    // captured from the naive path (`with_memoization(false)`), so this pin fails if
+    // fast-forwarding perturbs any serialized byte.
+    let (cluster, dag) = tiny_setup();
+    let config = OpusConfig::provisioned(SimDuration::from_millis(25))
+        .with_iterations(6)
+        .with_jitter(0.0, 1);
+    let mut memoized = OpusSimulator::new(cluster.clone(), dag.clone(), config);
+    let via_memo = serde_json::to_string_pretty(&memoized.run()).expect("results serialize");
+    assert!(
+        memoized.memoized_iterations() >= 3,
+        "the memo must engage on a jitter-free run, fast-forwarded {}",
+        memoized.memoized_iterations()
+    );
+    let via_naive = serialized(cluster, dag, config.with_memoization(false));
+    assert_eq!(via_memo, via_naive);
+    assert_eq!(
+        fnv1a(via_naive.as_bytes()),
+        0x37966508faa37c81,
+        "naive-path metrics diverged from the captured seed"
+    );
+}
+
 // ---- 1k-GPU pins (release-mode CI smoke; run with `--ignored`) ---------------------
 
 fn scaled_setup_1k() -> (Cluster, TrainingDag) {
