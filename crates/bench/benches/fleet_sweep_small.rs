@@ -1,0 +1,51 @@
+//! Micro-benchmark of the fleet service's sweep path: a small provisioning grid
+//! (electrical + provisioned-optical, two failure traces each) on the paper's
+//! 16-GPU workload through the shared-template cache. Single worker, so the
+//! number tracks per-variant evaluation cost — spec expansion, scenario build
+//! against the cached `Arc<TrainingDag>`, simulation, frontier roll-up — rather
+//! than pool scheduling (worker-count byte-identity is pinned by the property
+//! suite; this tracks the wall-clock of the work itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opus::fleet::{FailureModel, FleetService, ProvisioningLevel, SweepSpec};
+use opus::ReconfigPolicy;
+use railsim_bench::{paper_cluster, paper_dag};
+use railsim_sim::SimDuration;
+
+fn bench_fleet_sweep_small(c: &mut Criterion) {
+    let service = FleetService::new(paper_cluster());
+    service.dag_template("paper", paper_dag);
+    let sweep = SweepSpec {
+        template: "paper".to_string(),
+        traces_per_level: 2,
+        levels: vec![
+            ProvisioningLevel::bare("electrical", ReconfigPolicy::Electrical, SimDuration::ZERO),
+            ProvisioningLevel::bare(
+                "piezo-25ms",
+                ReconfigPolicy::Provisioned,
+                SimDuration::from_millis(25),
+            ),
+        ],
+        failures: FailureModel {
+            max_outages: 2,
+            window: SimDuration::from_millis(60),
+            min_outage: SimDuration::from_millis(1),
+            max_outage: SimDuration::from_millis(10),
+        },
+        ..SweepSpec::default()
+    };
+
+    let mut group = c.benchmark_group("fleet_sweep");
+    group.sample_size(20);
+    group.bench_function("fleet_sweep_small", |b| {
+        b.iter(|| {
+            let report = service.evaluate(&sweep);
+            assert_eq!(report.variants.len(), 4);
+            black_box(report.frontier.pareto_points())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_sweep_small);
+criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Macro-benchmark: one full training-iteration simulation under each network policy
 //! (the engine behind Fig. 8).
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use opus::{OpusConfig, OpusSimulator};
 use railsim_bench::{paper_cluster, paper_dag};

@@ -4,6 +4,8 @@
 //! (byte-identity between the two paths is pinned by the determinism and compat
 //! suites; this tracks the wall-clock side of the bargain).
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use opus::{OpusConfig, OpusSimulator};
 use railsim_bench::{paper_cluster, paper_dag};

@@ -3,6 +3,8 @@
 //! per-job context multiplexing, the injected-event class and the fleet counters —
 //! on top of the raw single-job hot path that `iteration_sim` gates.
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use opus::{OpusConfig, Scenario, ScenarioEvent};
 use railsim_bench::{paper_cluster, paper_dag};

@@ -1,6 +1,8 @@
 //! Micro-benchmark: extracting inter-parallelism windows (Fig. 4) from a simulated
 //! iteration's communication records.
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use opus::{window_cdf, windows_on_rail, OpusConfig, OpusSimulator};
 use railsim_bench::{paper_cluster, paper_dag};

@@ -19,14 +19,18 @@ struct OffloadRow {
 
 fn main() {
     const ITERATIONS: u32 = 3;
+    fn run_config(mut base: OpusConfig) -> OpusConfig {
+        base.iterations = ITERATIONS;
+        base.compute_jitter = 0.0;
+        base.seed = 13;
+        base
+    }
     let cluster = paper_cluster();
     let dag = paper_dag();
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical()
-            .with_iterations(ITERATIONS)
-            .with_jitter(0.0, 13),
+        run_config(OpusConfig::electrical()),
     )
     .run();
     let base = baseline.steady_state_iteration_time().as_secs_f64();
@@ -46,19 +50,14 @@ fn main() {
         let plain = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::provisioned(latency)
-                .with_iterations(ITERATIONS)
-                .with_jitter(0.0, 13),
+            run_config(OpusConfig::provisioned(latency)),
         )
         .run();
-        let offload = OpusSimulator::new(
-            cluster.clone(),
-            dag.clone(),
-            OpusConfig::provisioned(latency)
-                .with_host_offload(HostOffload::frontend_100g())
-                .with_iterations(ITERATIONS)
-                .with_jitter(0.0, 13),
-        )
+        let offload = OpusSimulator::new(cluster.clone(), dag.clone(), {
+            let mut cfg = run_config(OpusConfig::provisioned(latency));
+            cfg.host_offload = Some(HostOffload::frontend_100g());
+            cfg
+        })
         .run();
         let n_plain = plain.steady_state_iteration_time().as_secs_f64() / base;
         let n_off = offload.steady_state_iteration_time().as_secs_f64() / base;

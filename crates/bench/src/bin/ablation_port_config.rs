@@ -100,13 +100,13 @@ fn main() {
     let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4)
         .with_nic(NicConfig::slingshot11_dual())
         .build();
-    let mut sim = OpusSimulator::new(
-        cluster,
-        paper_dag(),
-        OpusConfig::provisioned(SimDuration::from_millis(25))
-            .with_iterations(2)
-            .with_jitter(0.0, 5),
-    );
+    let mut sim = OpusSimulator::new(cluster, paper_dag(), {
+        let mut cfg = OpusConfig::provisioned(SimDuration::from_millis(25));
+        cfg.iterations = 2;
+        cfg.compute_jitter = 0.0;
+        cfg.seed = 5;
+        cfg
+    });
     let result = sim.run();
     let mut tm = Report::new(
         "Time-multiplexed alternative (Opus, provisioned 25 ms OCS)",

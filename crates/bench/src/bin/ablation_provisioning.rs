@@ -42,11 +42,13 @@ fn main() {
     );
     let mut rows = Vec::new();
     for config in configs {
-        let mut sim = OpusSimulator::new(
-            cluster.clone(),
-            dag.clone(),
-            config.with_iterations(ITERATIONS).with_jitter(0.0, 3),
-        );
+        let mut sim = OpusSimulator::new(cluster.clone(), dag.clone(), {
+            let mut cfg = config;
+            cfg.iterations = ITERATIONS;
+            cfg.compute_jitter = 0.0;
+            cfg.seed = 3;
+            cfg
+        });
         let result = sim.run();
         let steady: Vec<_> = result.iterations.iter().skip(1).collect();
         let iter_time = result.steady_state_iteration_time().as_secs_f64();

@@ -30,9 +30,10 @@ fn run_variant(name: &str, parallel: ParallelismConfig, rows: &mut Vec<PhaseRow>
     let dag = DagBuilder::new(model, parallel.clone(), compute).build();
 
     // Electrical fabric: Fig. 3 shows the application's intrinsic pattern.
-    let config = OpusConfig::electrical()
-        .with_iterations(1)
-        .with_jitter(0.0, 1);
+    let mut config = OpusConfig::electrical();
+    config.iterations = 1;
+    config.compute_jitter = 0.0;
+    config.seed = 1;
     let mut sim = OpusSimulator::new(cluster, dag, config);
     let result = sim.run();
     let it = &result.iterations[0];

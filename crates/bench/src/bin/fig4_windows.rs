@@ -30,9 +30,10 @@ fn main() {
     let dag = paper_dag();
     // Fig. 4 was measured on the electrical fabric (the windows are a property of the
     // application schedule, not of the network).
-    let config = OpusConfig::electrical()
-        .with_iterations(ITERATIONS)
-        .with_jitter(0.05, 42);
+    let mut config = OpusConfig::electrical();
+    config.iterations = ITERATIONS;
+    config.compute_jitter = 0.05;
+    config.seed = 42;
     let mut sim = OpusSimulator::new(cluster.clone(), dag, config);
     let result = sim.run();
 

@@ -20,15 +20,19 @@ struct Fig8Point {
 
 fn main() {
     const ITERATIONS: u32 = 3;
+    fn run_config(mut base: OpusConfig) -> OpusConfig {
+        base.iterations = ITERATIONS;
+        base.compute_jitter = 0.0;
+        base.seed = 1;
+        base
+    }
     let cluster = paper_cluster();
     let dag = paper_dag_large_batch();
 
     let baseline = OpusSimulator::new(
         cluster.clone(),
         dag.clone(),
-        OpusConfig::electrical()
-            .with_iterations(ITERATIONS)
-            .with_jitter(0.0, 1),
+        run_config(OpusConfig::electrical()),
     )
     .run();
     let baseline_time = baseline.steady_state_iteration_time();
@@ -55,17 +59,13 @@ fn main() {
         let on_demand = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::on_demand(latency)
-                .with_iterations(ITERATIONS)
-                .with_jitter(0.0, 1),
+            run_config(OpusConfig::on_demand(latency)),
         )
         .run();
         let provisioned = OpusSimulator::new(
             cluster.clone(),
             dag.clone(),
-            OpusConfig::provisioned(latency)
-                .with_iterations(ITERATIONS)
-                .with_jitter(0.0, 1),
+            run_config(OpusConfig::provisioned(latency)),
         )
         .run();
         let norm_od =

@@ -33,7 +33,7 @@
 //!   GPU count that is a positive multiple of 128); one row per job, fleet-level
 //!   cross-job overlap counters attached.
 //!
-//! `--no-memo` disables steady-state iteration memoization (`with_memoization(false)`)
+//! `--no-memo` disables steady-state iteration memoization (`memoize_steady_state`)
 //! so many-iteration runs re-step every iteration — the naive control for measuring
 //! the fast-forward speedup (both paths produce byte-identical metrics).
 //!
@@ -306,10 +306,10 @@ fn run_scale_point(
 
     let mut provisioned = scale_run_config(iterations);
     if parallel_threads > 1 {
-        provisioned = provisioned.with_parallel_threads(parallel_threads);
+        provisioned.parallel_threads = Some(parallel_threads);
     }
     if !memoize {
-        provisioned = provisioned.with_memoization(false);
+        provisioned.memoize_steady_state = false;
     }
     let mut configs: Vec<(&'static str, OpusConfig)> = Vec::new();
     if policy != PolicyFilter::Optical {

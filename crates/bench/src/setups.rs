@@ -108,9 +108,11 @@ pub fn scaled_parallelism(num_gpus: u32) -> ParallelismConfig {
 /// disabled for run-to-run comparability. (The electrical baseline is
 /// `opus::baseline_of` applied to this.)
 pub fn scale_run_config(iterations: u32) -> OpusConfig {
-    OpusConfig::provisioned(SimDuration::from_millis(25))
-        .with_iterations(iterations)
-        .with_jitter(0.0, 1)
+    let mut config = OpusConfig::provisioned(SimDuration::from_millis(25));
+    config.iterations = iterations;
+    config.compute_jitter = 0.0;
+    config.seed = 1;
+    config
 }
 
 /// The execution DAG of one training iteration at datacenter scale (Llama 3 8B under

@@ -69,7 +69,14 @@ impl ReconfigPolicy {
 }
 
 /// Configuration of one Opus simulation run.
+///
+/// All fields are public: start from a policy constructor ([`OpusConfig::electrical`],
+/// [`OpusConfig::on_demand`], [`OpusConfig::provisioned`]) or [`OpusConfig::default`]
+/// and set fields directly. The struct is `#[non_exhaustive]`, so downstream code
+/// cannot build it with a literal — future knobs can then be added without a breaking
+/// change (every constructor picks a conservative default for them).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OpusConfig {
     /// The control policy (electrical baseline, on-demand, or provisioned optical).
     pub policy: ReconfigPolicy,
@@ -120,6 +127,14 @@ pub struct OpusConfig {
     pub memoize_steady_state: bool,
 }
 
+impl Default for OpusConfig {
+    /// The electrical baseline — the paper's reference point and the only policy with
+    /// no free latency parameter, so it is the one configuration that needs no input.
+    fn default() -> Self {
+        Self::electrical()
+    }
+}
+
 impl OpusConfig {
     /// The electrical-baseline configuration.
     pub fn electrical() -> Self {
@@ -164,12 +179,14 @@ impl OpusConfig {
     }
 
     /// Enables offloading of small collectives to the host network (§5).
+    #[deprecated(since = "0.1.0", note = "set `host_offload = Some(offload)` directly")]
     pub fn with_host_offload(mut self, offload: HostOffload) -> Self {
         self.host_offload = Some(offload);
         self
     }
 
     /// Overrides the number of iterations.
+    #[deprecated(since = "0.1.0", note = "set the `iterations` field directly")]
     pub fn with_iterations(mut self, iterations: u32) -> Self {
         assert!(iterations > 0, "must simulate at least one iteration");
         self.iterations = iterations;
@@ -177,6 +194,10 @@ impl OpusConfig {
     }
 
     /// Overrides the jitter amplitude and seed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the `compute_jitter` and `seed` fields directly"
+    )]
     pub fn with_jitter(mut self, amplitude: f64, seed: u64) -> Self {
         self.compute_jitter = amplitude;
         self.seed = seed;
@@ -184,6 +205,7 @@ impl OpusConfig {
     }
 
     /// Overrides the event-engine shard count (default: one shard per rail).
+    #[deprecated(since = "0.1.0", note = "set `event_shards = Some(shards)` directly")]
     pub fn with_event_shards(mut self, shards: u32) -> Self {
         assert!(shards > 0, "the engine needs at least one event shard");
         self.event_shards = Some(shards);
@@ -191,6 +213,10 @@ impl OpusConfig {
     }
 
     /// Overrides the parallel-stepping thread count (default: sequential).
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `parallel_threads = Some(threads)` directly"
+    )]
     pub fn with_parallel_threads(mut self, threads: u32) -> Self {
         assert!(threads > 0, "parallel stepping needs at least one thread");
         self.parallel_threads = Some(threads);
@@ -199,6 +225,10 @@ impl OpusConfig {
 
     /// Enables or disables steady-state iteration memoization (enabled by default;
     /// see [`OpusConfig::memoize_steady_state`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the `memoize_steady_state` field directly"
+    )]
     pub fn with_memoization(mut self, enabled: bool) -> Self {
         self.memoize_steady_state = enabled;
         self
@@ -227,7 +257,14 @@ pub const EPOCH: SimTime = SimTime::ZERO;
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay under test until they are removed
+
     use super::*;
+
+    #[test]
+    fn defaults_match_the_electrical_constructor() {
+        assert_eq!(OpusConfig::default(), OpusConfig::electrical());
+    }
 
     #[test]
     fn constructors_set_policy() {

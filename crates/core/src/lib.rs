@@ -46,7 +46,8 @@
 //! // Photonic rails with a 25 ms piezo OCS and provisioning, 2 iterations, driven
 //! // through the scenario entry point (see [`scenario`] for fault injection and
 //! // multi-job placement).
-//! let config = OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2);
+//! let mut config = OpusConfig::provisioned(SimDuration::from_millis(25));
+//! config.iterations = 2;
 //! let result = Scenario::new(cluster).job(dag, config).run();
 //! assert!(
 //!     result.jobs[0].result.steady_state_iteration_time() > SimDuration::ZERO
@@ -59,6 +60,7 @@
 pub mod circuits;
 pub mod config;
 pub mod controller;
+pub mod fleet;
 pub mod group_table;
 pub mod metrics;
 pub mod scenario;
@@ -69,10 +71,15 @@ pub mod window;
 pub use circuits::{CircuitPlanner, GroupCircuits};
 pub use config::{HostOffload, OpusConfig, ReconfigPolicy};
 pub use controller::OpusController;
+pub use fleet::{
+    FailureModel, FleetService, Frontier, LevelSummary, Percentiles, ProvisioningLevel,
+    SweepReport, SweepSpec, VariantResult,
+};
 pub use group_table::{GroupEntry, GroupTable};
 pub use metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
 pub use scenario::{
-    FleetMetrics, JobPlacement, JobResult, Scenario, ScenarioEvent, ScenarioResult,
+    FleetMetrics, JobPlacement, JobResult, JobSpec, Scenario, ScenarioEvent, ScenarioResult,
+    ScenarioSpec,
 };
 pub use shim::{OpusShim, ShimProfile};
 pub use simulation::{baseline_of, run_policies, OpusSimulator};

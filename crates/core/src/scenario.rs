@@ -18,7 +18,8 @@
 //! let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
 //! let dag = DagBuilder::new(model, parallel, compute).build();
 //!
-//! let config = OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2);
+//! let mut config = OpusConfig::provisioned(SimDuration::from_millis(25));
+//! config.iterations = 2;
 //! let result = Scenario::new(cluster)
 //!     .job(dag, config)
 //!     .inject(SimTime::from_millis(5), ScenarioEvent::RailDown(RailId(0)))
@@ -78,6 +79,7 @@ use railsim_topology::{
 use railsim_workload::{JobId, LabelId, RankSet, TaskId, TaskKind, TrainingDag};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An external event injected into a scenario's timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,44 +120,63 @@ pub enum JobPlacement {
 }
 
 /// One job declaration: the DAG, its configuration and its placement.
-#[derive(Debug, Clone)]
-struct JobSpec {
-    dag: TrainingDag,
-    config: OpusConfig,
-    placement: JobPlacement,
-}
-
-/// Builder for a multi-job, fault-injecting simulation on one shared cluster.
 ///
-/// See the [module docs](self) for the execution model. Jobs are identified by
-/// [`JobId`] in declaration order; injections may be declared in any order (they are
-/// sorted by time, declaration order breaking ties).
+/// The DAG rides behind an [`Arc`] so the same template can back many concurrent
+/// scenarios (a fleet sweep pays DAG construction once); declaring a job never
+/// deep-clones the arena. A rebase (non-zero placement or group-id offset) clones at
+/// build time, exactly as before.
 #[derive(Debug, Clone)]
-pub struct Scenario {
-    cluster: Cluster,
-    jobs: Vec<JobSpec>,
-    injections: Vec<(SimTime, ScenarioEvent)>,
+pub struct JobSpec {
+    /// The job's training DAG (immutably shared; see [`ScenarioSpec`]).
+    pub dag: Arc<TrainingDag>,
+    /// The job's simulation configuration.
+    pub config: OpusConfig,
+    /// Where the job's ranks land in the shared cluster.
+    pub placement: JobPlacement,
 }
 
-impl Scenario {
-    /// Starts a scenario on `cluster`.
+/// A scenario described as plain data: the shared cluster, the job declarations and
+/// the injected external-event timeline.
+///
+/// This is the declarative core both [`Scenario`] (the classic builder, now a thin
+/// shim over a spec) and the fleet sweep expansion (`opus::fleet`) produce; the
+/// executor consumes it via [`ScenarioSpec::run`]. Every field is public — a spec can
+/// be assembled directly, inspected, cloned cheaply (jobs share their DAGs via
+/// [`Arc`]) and re-run without touching imperative setup calls.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The shared cluster every job is placed on.
+    pub cluster: Cluster,
+    /// The jobs, identified by [`JobId`] in declaration order.
+    pub jobs: Vec<JobSpec>,
+    /// The injected timeline, in any order (sorted by time at build, declaration
+    /// order breaking ties).
+    pub injections: Vec<(SimTime, ScenarioEvent)>,
+}
+
+impl ScenarioSpec {
+    /// Starts an empty spec on `cluster`.
     pub fn new(cluster: Cluster) -> Self {
-        Scenario {
+        ScenarioSpec {
             cluster,
             jobs: Vec::new(),
             injections: Vec::new(),
         }
     }
 
-    /// Adds a job with automatic placement (packed after the previous job, node
-    /// aligned). Returns the builder; the job's id is [`JobId`] of its declaration
-    /// index.
-    pub fn job(self, dag: TrainingDag, config: OpusConfig) -> Self {
+    /// Adds a job sharing `dag` with automatic placement. The template is *not*
+    /// cloned — scenarios built from the same `Arc` share one arena.
+    pub fn job(self, dag: Arc<TrainingDag>, config: OpusConfig) -> Self {
         self.job_placed(dag, config, JobPlacement::Auto)
     }
 
-    /// Adds a job with an explicit placement.
-    pub fn job_placed(mut self, dag: TrainingDag, config: OpusConfig, at: JobPlacement) -> Self {
+    /// Adds a job sharing `dag` with an explicit placement.
+    pub fn job_placed(
+        mut self,
+        dag: Arc<TrainingDag>,
+        config: OpusConfig,
+        at: JobPlacement,
+    ) -> Self {
         self.jobs.push(JobSpec {
             dag,
             config,
@@ -170,22 +191,97 @@ impl Scenario {
         self
     }
 
+    /// Builds and runs the scenario to completion.
+    ///
+    /// # Panics
+    /// Panics when the scenario is malformed: no jobs, an invalid DAG, zero
+    /// iterations, a placement outside the cluster, an injection on a nonexistent
+    /// rail or job, inconsistent optical reconfiguration latencies across jobs, or a
+    /// timeline under which a job cannot finish (a needed rail fails and never
+    /// recovers).
+    pub fn run(self) -> ScenarioResult {
+        let mut sim = ScenarioSim::build(self);
+        sim.run_scenario();
+        sim.into_result()
+    }
+}
+
+/// Builder for a multi-job, fault-injecting simulation on one shared cluster.
+///
+/// See the [module docs](self) for the execution model. Jobs are identified by
+/// [`JobId`] in declaration order; injections may be declared in any order (they are
+/// sorted by time, declaration order breaking ties).
+///
+/// `Scenario` is a thin shim over [`ScenarioSpec`]: each builder call appends to the
+/// spec, and [`Scenario::run`] is exactly `self.into_spec().run()` (the compat suite
+/// pins the two paths byte-identical). Code that wants the declarative form — or
+/// wants to share one DAG template across many scenarios — can work with
+/// [`ScenarioSpec`] directly.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+}
+
+impl Scenario {
+    /// Starts a scenario on `cluster`.
+    pub fn new(cluster: Cluster) -> Self {
+        Scenario {
+            spec: ScenarioSpec::new(cluster),
+        }
+    }
+
+    /// Wraps an assembled spec in the builder.
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        Scenario { spec }
+    }
+
+    /// The underlying declarative spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Unwraps the builder into its declarative spec.
+    pub fn into_spec(self) -> ScenarioSpec {
+        self.spec
+    }
+
+    /// Adds a job with automatic placement (packed after the previous job, node
+    /// aligned). Returns the builder; the job's id is [`JobId`] of its declaration
+    /// index.
+    pub fn job(self, dag: TrainingDag, config: OpusConfig) -> Self {
+        self.job_placed(dag, config, JobPlacement::Auto)
+    }
+
+    /// Adds a job sharing an existing DAG template (no clone) with automatic
+    /// placement.
+    pub fn job_shared(mut self, dag: Arc<TrainingDag>, config: OpusConfig) -> Self {
+        self.spec = self.spec.job(dag, config);
+        self
+    }
+
+    /// Adds a job with an explicit placement.
+    pub fn job_placed(mut self, dag: TrainingDag, config: OpusConfig, at: JobPlacement) -> Self {
+        self.spec = self.spec.job_placed(Arc::new(dag), config, at);
+        self
+    }
+
+    /// Injects an external event at the given absolute time.
+    pub fn inject(mut self, at: SimTime, event: ScenarioEvent) -> Self {
+        self.spec = self.spec.inject(at, event);
+        self
+    }
+
     /// Number of jobs declared so far.
     pub fn num_jobs(&self) -> usize {
-        self.jobs.len()
+        self.spec.jobs.len()
     }
 
     /// Builds and runs the scenario to completion.
     ///
     /// # Panics
-    /// Panics when the scenario is malformed: no jobs, an invalid DAG, a placement
-    /// outside the cluster, an injection on a nonexistent rail or job, inconsistent
-    /// optical reconfiguration latencies across jobs, or a timeline under which a job
-    /// cannot finish (a needed rail fails and never recovers).
+    /// Panics when the scenario is malformed; see [`ScenarioSpec::run`].
     pub fn run(self) -> ScenarioResult {
-        let mut sim = ScenarioSim::build(self);
-        sim.run_scenario();
-        sim.into_result()
+        self.spec.run()
     }
 }
 
@@ -377,7 +473,10 @@ struct MemoState {
 struct JobContext {
     job: JobId,
     gpu_offset: u32,
-    dag: TrainingDag,
+    /// The job's (possibly rebased) DAG. Shared immutably: an unrebased job holds an
+    /// `Arc` clone of the caller's template, so fleets of scenarios built from one
+    /// template pay construction once.
+    dag: Arc<TrainingDag>,
     config: OpusConfig,
     group_table: GroupTable,
     /// Deduplicated circuit demands; see [`CircuitSlot`].
@@ -552,12 +651,12 @@ pub(crate) struct ScenarioSim {
 
 impl ScenarioSim {
     /// Builds every job context and the shared fleet state.
-    pub(crate) fn build(scenario: Scenario) -> ScenarioSim {
-        let Scenario {
+    pub(crate) fn build(spec: ScenarioSpec) -> ScenarioSim {
+        let ScenarioSpec {
             cluster,
             jobs,
             injections,
-        } = scenario;
+        } = spec;
         assert!(!jobs.is_empty(), "a scenario needs at least one job");
         assert!(
             jobs.len() <= u16::MAX as usize,
@@ -636,6 +735,10 @@ impl ScenarioSim {
         let mut optical_latency: Option<SimDuration> = None;
         for (j, spec) in jobs.into_iter().enumerate() {
             spec.dag.validate().expect("training DAG must be valid");
+            assert!(
+                spec.config.iterations > 0,
+                "job{j} must simulate at least one iteration"
+            );
             let gpu_offset = match spec.placement {
                 JobPlacement::Auto => next_free_gpu.div_ceil(gpus_per_node) * gpus_per_node,
                 JobPlacement::AtGpu(offset) => offset,
@@ -648,12 +751,13 @@ impl ScenarioSim {
                 cluster.num_gpus()
             );
             let group_offset = if j == 0 { 0 } else { next_group_id };
-            // Move the DAG straight in when no rebase is needed — `rebase(0, 0)`
-            // would deep-clone a (potentially 100k-GPU, multi-million-task) arena.
+            // Share the template straight in when no rebase is needed — an `Arc`
+            // clone, so a fleet of scenarios built from one template never
+            // deep-clones a (potentially 100k-GPU, multi-million-task) arena.
             let dag = if gpu_offset == 0 && group_offset == 0 {
                 spec.dag
             } else {
-                spec.dag.rebase(gpu_offset, group_offset)
+                Arc::new(spec.dag.rebase(gpu_offset, group_offset))
             };
             next_free_gpu = next_free_gpu.max(gpu_offset + max_rank + 1);
             next_group_id = next_group_id.max(dag.groups.keys().next_back().map_or(0, |g| g.0 + 1));
@@ -752,7 +856,7 @@ impl ScenarioSim {
         cluster: &Cluster,
         job: JobId,
         gpu_offset: u32,
-        dag: TrainingDag,
+        dag: Arc<TrainingDag>,
         config: OpusConfig,
         arrives_via_event: bool,
     ) -> JobContext {
@@ -1729,6 +1833,8 @@ impl ScenarioSim {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the dense `with_*` chains migrate to field style over time
+
     use super::*;
     use railsim_topology::{ClusterSpec, NodePreset};
     use railsim_workload::{ComputeModel, DagBuilder, GpuSpec, ModelConfig, ParallelismConfig};
@@ -2004,7 +2110,7 @@ mod tests {
     /// Runs the scenario and reports job 0's fast-forward counter next to the
     /// result (the counter is observability-only and not part of the result).
     fn run_counting_ff(scenario: Scenario) -> (ScenarioResult, u64) {
-        let mut sim = ScenarioSim::build(scenario);
+        let mut sim = ScenarioSim::build(scenario.into_spec());
         sim.run_scenario();
         let ff = sim.job_memoized_iterations(0);
         (sim.into_result(), ff)
@@ -2090,7 +2196,8 @@ mod tests {
         let mut sim = ScenarioSim::build(
             Scenario::new(tiny_cluster(8))
                 .job(tiny_dag(), config)
-                .job(tiny_dag(), config),
+                .job(tiny_dag(), config)
+                .into_spec(),
         );
         sim.run_scenario();
         assert_eq!(sim.job_memoized_iterations(0), 0);

@@ -55,7 +55,7 @@ impl OpusSimulator {
     /// Panics if the DAG is invalid or references ranks outside the cluster.
     pub fn new(cluster: Cluster, dag: TrainingDag, config: OpusConfig) -> Self {
         OpusSimulator {
-            sim: ScenarioSim::build(Scenario::new(cluster).job(dag, config)),
+            sim: ScenarioSim::build(Scenario::new(cluster).job(dag, config).into_spec()),
         }
     }
 
@@ -120,6 +120,8 @@ pub fn baseline_of(config: &OpusConfig) -> OpusConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the dense `with_*` chains migrate to field style over time
+
     use super::*;
     use railsim_collectives::ParallelismAxis;
     use railsim_sim::SimDuration;

@@ -6,7 +6,11 @@
 //! * [`fabric`] — cost/power roll-ups for the three fabrics of Fig. 7: a full-bisection
 //!   fat-tree, a rail-optimized electrical fabric, and the Opus photonic rail fabric,
 //! * [`ocs_tech`] — Table 3: the OCS technology scalability–latency trade-off
-//!   (`#GPUs = scale-up size × radix / 2`).
+//!   (`#GPUs = scale-up size × radix / 2`),
+//! * [`devices`] — device-level DAC/ADC/laser power-area tables (the electro-optical
+//!   engine below the module datasheet figures),
+//! * [`provisioning`] — the provisioning ladder fleet sweeps price their
+//!   availability/cost frontier with (one point per fabric + OCS class).
 //!
 //! ```
 //! use railsim_cost::fabric::{FabricKind, GpuBackendCostModel};
@@ -22,9 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod devices;
 pub mod fabric;
 pub mod ocs_tech;
+pub mod provisioning;
 
 pub use catalog::ComponentCatalog;
+pub use devices::{adc_catalog, dac_catalog, ConverterDevice, LaserModel, TransceiverDeviceModel};
 pub use fabric::{FabricCost, FabricKind, GpuBackendCostModel};
 pub use ocs_tech::{ocs_technologies, OcsTechnology};
+pub use provisioning::{standard_points, ProvisioningPoint};

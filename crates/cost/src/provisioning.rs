@@ -1,0 +1,136 @@
+//! Per-provisioning-point cost model for fleet sweeps.
+//!
+//! The fleet service (`opus::fleet`) compares *provisioning levels* — which fabric
+//! you buy and which reconfiguration latency you accept — on an availability/cost
+//! frontier. This module produces the cost axis: one [`ProvisioningPoint`] per
+//! candidate fabric, with capex and power from the component catalog
+//! ([`catalog`](crate::catalog)), OCS per-port prices per technology class
+//! ([`ocs_tech`](crate::ocs_tech)) and per-port power for *active* electro-optic
+//! switch classes derived from the DAC/ADC/laser device tables
+//! ([`devices`](crate::devices)) — a fast EO port is driven like a transceiver lane,
+//! while mechanical classes (MEMS, piezo, liquid crystal) stay at the passive
+//! chassis figure.
+//!
+//! The points are deliberately monotone: reconfiguration latency rises as capex
+//! falls, so the availability/cost frontier a sweep reports is non-degenerate by
+//! construction (whether a point *survives* as Pareto-optimal still depends on the
+//! measured availability).
+
+use crate::devices::TransceiverDeviceModel;
+use crate::fabric::{FabricKind, GpuBackendCostModel};
+use railsim_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One provisioning candidate: a fabric choice priced at a concrete GPU count.
+/// Plain data — `opus::fleet` consumes it without depending on this crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisioningPoint {
+    /// Display label ("electrical", "piezo-25ms", ...).
+    pub label: String,
+    /// True for photonic-rail points (run under an optical policy), false for the
+    /// electrical packet-switched baseline.
+    pub optical: bool,
+    /// OCS reconfiguration latency (zero for the electrical baseline).
+    pub reconfig_latency: SimDuration,
+    /// Fabric capital cost in USD.
+    pub capex_usd: f64,
+    /// Fabric power draw in watts.
+    pub power_watts: f64,
+}
+
+/// Per-technology OCS port prices, list-price class estimates in the spirit of the
+/// catalog's \$500/port piezo figure [53]: fast electro-optic ports carry drive
+/// electronics and premium photonics; mature mechanical classes are cheaper per
+/// port.
+const OCS_CLASSES: &[(&str, u64, f64)] = &[
+    // (technology label, reconfig latency in µs, USD per port)
+    ("sip-7us", 7, 2_000.0),
+    ("mems-15ms", 15_000, 800.0),
+    ("piezo-25ms", 25_000, 500.0),
+    ("liquid-crystal-100ms", 100_000, 350.0),
+];
+
+/// The standard provisioning ladder at `num_gpus`: the rail-optimized electrical
+/// baseline plus one photonic point per OCS class, ordered by rising
+/// reconfiguration latency and falling capex.
+///
+/// # Panics
+/// Panics if `num_gpus` is not a positive multiple of the model's node size
+/// (propagated from [`GpuBackendCostModel::evaluate`]).
+pub fn standard_points(model: &GpuBackendCostModel, num_gpus: u64) -> Vec<ProvisioningPoint> {
+    let electrical = model.evaluate(FabricKind::RailOptimized, num_gpus);
+    let mut points = vec![ProvisioningPoint {
+        label: "electrical".to_string(),
+        optical: false,
+        reconfig_latency: SimDuration::ZERO,
+        capex_usd: electrical.capex_usd,
+        power_watts: electrical.power_watts,
+    }];
+    let engine = TransceiverDeviceModel::gen_400g();
+    for &(label, latency_us, port_usd) in OCS_CLASSES {
+        let latency = SimDuration::from_micros(latency_us);
+        let mut catalog = model.catalog;
+        catalog.ocs_port_usd = port_usd;
+        if latency < SimDuration::from_millis(1) {
+            // Active electro-optic port: per-port drive electronics modeled as one
+            // transceiver lane (DAC + ADC + laser wall-plug) on top of the passive
+            // chassis overhead.
+            catalog.ocs_port_watts += engine.engine_power_watts() / f64::from(engine.lanes);
+        }
+        let priced = GpuBackendCostModel { catalog, ..*model };
+        let cost = priced.evaluate(FabricKind::Opus, num_gpus);
+        points.push(ProvisioningPoint {
+            label: label.to_string(),
+            optical: true,
+            reconfig_latency: latency,
+            capex_usd: cost.capex_usd,
+            power_watts: cost.power_watts,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocs_tech::ocs_technologies;
+
+    #[test]
+    fn the_ladder_is_monotone_latency_up_capex_down() {
+        let model = GpuBackendCostModel::dgx_h200_400g();
+        let points = standard_points(&model, 1024);
+        assert_eq!(points.len(), 5);
+        assert!(!points[0].optical, "the baseline leads the ladder");
+        for pair in points.windows(2) {
+            assert!(pair[0].reconfig_latency < pair[1].reconfig_latency);
+            assert!(
+                pair[0].capex_usd > pair[1].capex_usd,
+                "{} should cost more than {}",
+                pair[0].label,
+                pair[1].label
+            );
+        }
+    }
+
+    #[test]
+    fn class_latencies_match_the_table3_technologies() {
+        // The ladder's latency classes come from Table 3; keep them in sync.
+        let table: Vec<SimDuration> = ocs_technologies().iter().map(|t| t.reconfig_time).collect();
+        for &(_, latency_us, _) in OCS_CLASSES {
+            assert!(
+                table.contains(&SimDuration::from_micros(latency_us)),
+                "{latency_us} µs is not a Table 3 reconfiguration time"
+            );
+        }
+    }
+
+    #[test]
+    fn every_photonic_point_beats_the_baseline_on_power() {
+        let model = GpuBackendCostModel::dgx_h200_400g();
+        let points = standard_points(&model, 1024);
+        let baseline = points[0].power_watts;
+        for point in &points[1..] {
+            assert!(point.power_watts < baseline, "{}", point.label);
+        }
+    }
+}

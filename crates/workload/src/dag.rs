@@ -421,6 +421,13 @@ impl TrainingDag {
             .filter(|t| t.participants.contains(rank))
             .collect()
     }
+
+    /// Wraps the DAG in an [`Arc`](std::sync::Arc) for shared-immutable reuse across
+    /// scenario runs: a fleet sweep evaluates hundreds of variants against one
+    /// template, paying DAG construction once.
+    pub fn into_shared(self) -> std::sync::Arc<TrainingDag> {
+        std::sync::Arc::new(self)
+    }
 }
 
 /// Builds [`TrainingDag`]s from a model, a parallelism configuration and a compute model.
@@ -611,6 +618,12 @@ impl DagBuilder {
     /// The traffic sizes the builder derived.
     pub fn sizes(&self) -> &TrafficSizes {
         &self.sizes
+    }
+
+    /// Builds the execution DAG and wraps it for shared-immutable reuse — the
+    /// template form fleet sweeps cache and hand to many concurrent scenario runs.
+    pub fn build_shared(&self) -> std::sync::Arc<TrainingDag> {
+        self.build().into_shared()
     }
 
     /// Builds the execution DAG of one training iteration.

@@ -100,20 +100,16 @@ fn main() {
     };
     let compute = ComputeModel::derive(&modelcfg, &parallel, &GpuSpec::h100());
     let dag = DagBuilder::new(modelcfg, parallel, compute).build();
-    let baseline = OpusSimulator::new(
-        slice.clone(),
-        dag.clone(),
-        OpusConfig::electrical().with_iterations(2),
-    )
-    .run()
-    .steady_state_iteration_time();
-    let piezo = OpusSimulator::new(
-        slice,
-        dag,
-        OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2),
-    )
-    .run()
-    .steady_state_iteration_time();
+    let mut electrical = OpusConfig::electrical();
+    electrical.iterations = 2;
+    let baseline = OpusSimulator::new(slice.clone(), dag.clone(), electrical)
+        .run()
+        .steady_state_iteration_time();
+    let mut provisioned = OpusConfig::provisioned(SimDuration::from_millis(25));
+    provisioned.iterations = 2;
+    let piezo = OpusSimulator::new(slice, dag, provisioned)
+        .run()
+        .steady_state_iteration_time();
     println!(
         "\nperformance check on a 32-GPU slice: electrical {baseline} vs piezo-OCS Opus {piezo} ({:.1}% overhead)",
         100.0 * (piezo.as_secs_f64() / baseline.as_secs_f64() - 1.0)

@@ -35,7 +35,10 @@ fn main() {
 
     println!("fault injection: RailDown(rail0) pulse during iteration 1, 3-iteration job\n");
     for (name, config) in policies {
-        let config = config.with_iterations(3).with_jitter(0.0, 7);
+        let mut config = config;
+        config.iterations = 3;
+        config.compute_jitter = 0.0;
+        config.seed = 7;
 
         // Clean reference run.
         let clean = Scenario::new(cluster())

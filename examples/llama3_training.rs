@@ -92,14 +92,11 @@ fn main() {
     // 5. Time-multiplex instead: Opus across OCS technologies.
     let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::h100());
     let dag = DagBuilder::new(model, parallel, compute).build();
-    let baseline = OpusSimulator::new(
-        cluster.clone(),
-        dag.clone(),
-        OpusConfig::electrical()
-            .with_iterations(2)
-            .with_jitter(0.0, 11),
-    )
-    .run();
+    let mut electrical = OpusConfig::electrical();
+    electrical.iterations = 2;
+    electrical.compute_jitter = 0.0;
+    electrical.seed = 11;
+    let baseline = OpusSimulator::new(cluster.clone(), dag.clone(), electrical).run();
     let baseline_time = baseline.steady_state_iteration_time();
     println!("\nelectrical baseline iteration: {baseline_time}");
     println!("\nOpus (provisioned) across OCS technologies:");
@@ -112,14 +109,11 @@ fn main() {
             );
             continue;
         }
-        let result = OpusSimulator::new(
-            cluster.clone(),
-            dag.clone(),
-            OpusConfig::provisioned(tech.reconfig_time)
-                .with_iterations(2)
-                .with_jitter(0.0, 11),
-        )
-        .run();
+        let mut config = OpusConfig::provisioned(tech.reconfig_time);
+        config.iterations = 2;
+        config.compute_jitter = 0.0;
+        config.seed = 11;
+        let result = OpusSimulator::new(cluster.clone(), dag.clone(), config).run();
         let ratio =
             result.steady_state_iteration_time().as_secs_f64() / baseline_time.as_secs_f64();
         println!(

@@ -82,14 +82,11 @@ fn main() {
     }
 
     // Simulate: electrical baseline vs photonic rails at two OCS classes.
-    let baseline = OpusSimulator::new(
-        cluster.clone(),
-        dag.clone(),
-        OpusConfig::electrical()
-            .with_iterations(2)
-            .with_jitter(0.0, 21),
-    )
-    .run();
+    let mut electrical = OpusConfig::electrical();
+    electrical.iterations = 2;
+    electrical.compute_jitter = 0.0;
+    electrical.seed = 21;
+    let baseline = OpusSimulator::new(cluster.clone(), dag.clone(), electrical).run();
     let baseline_time = baseline.steady_state_iteration_time();
     println!("\nelectrical baseline iteration: {baseline_time}");
 
@@ -98,14 +95,11 @@ fn main() {
         ("3D MEMS OCS (15 ms)", SimDuration::from_millis(15)),
         ("Piezo OCS (25 ms)", SimDuration::from_millis(25)),
     ] {
-        let result = OpusSimulator::new(
-            cluster.clone(),
-            dag.clone(),
-            OpusConfig::provisioned(latency)
-                .with_iterations(2)
-                .with_jitter(0.0, 21),
-        )
-        .run();
+        let mut config = OpusConfig::provisioned(latency);
+        config.iterations = 2;
+        config.compute_jitter = 0.0;
+        config.seed = 21;
+        let result = OpusSimulator::new(cluster.clone(), dag.clone(), config).run();
         let it = result.iterations.last().expect("ran two iterations");
         println!(
             "{name:22} -> normalized {:.3}, {} reconfigs/iter, circuit wait {}",

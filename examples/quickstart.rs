@@ -51,11 +51,11 @@ fn main() {
     let mut baseline_time = None;
     println!();
     for (name, config) in policies {
-        let mut sim = OpusSimulator::new(
-            cluster.clone(),
-            dag.clone(),
-            config.with_iterations(3).with_jitter(0.0, 7),
-        );
+        let mut config = config;
+        config.iterations = 3;
+        config.compute_jitter = 0.0;
+        config.seed = 7;
+        let mut sim = OpusSimulator::new(cluster.clone(), dag.clone(), config);
         let result = sim.run();
         let time = result.steady_state_iteration_time();
         let baseline = *baseline_time.get_or_insert(time);

@@ -18,13 +18,11 @@ fn main() {
     let dag = DagBuilder::new(model, parallel, compute).build();
 
     // Measure windows on the electrical fabric over 10 iterations, as the paper did.
-    let mut sim = OpusSimulator::new(
-        cluster.clone(),
-        dag,
-        OpusConfig::electrical()
-            .with_iterations(10)
-            .with_jitter(0.05, 2024),
-    );
+    let mut config = OpusConfig::electrical();
+    config.iterations = 10;
+    config.compute_jitter = 0.05;
+    config.seed = 2024;
+    let mut sim = OpusSimulator::new(cluster.clone(), dag, config);
     let result = sim.run();
 
     println!(

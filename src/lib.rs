@@ -17,7 +17,7 @@
 //! | [`topology`] | `railsim-topology` | clusters, rails, optical circuit switches, fat-trees |
 //! | [`collectives`] | `railsim-collectives` | communication groups, collective algorithms, α–β cost models |
 //! | [`workload`] | `railsim-workload` | model/parallelism configs, pipeline schedules, training DAGs |
-//! | [`opus`] | `opus` | the Opus shim + controller, the iteration simulator, window analysis |
+//! | [`opus`] | `opus` | the Opus shim + controller, the iteration simulator, the scenario driver and fleet sweep service, window analysis |
 //! | [`cost`] | `railsim-cost` | fabric cost/power models and the OCS technology table |
 //!
 //! ## Quick start
@@ -35,7 +35,8 @@
 //! // Simulate photonic rails with a 25 ms piezo OCS and provisioning. `Scenario` is
 //! // the entry point: one or more jobs on a shared cluster, plus an injected event
 //! // timeline (rail failures/recoveries, OCS degradation, late job arrivals).
-//! let config = OpusConfig::provisioned(SimDuration::from_millis(25)).with_iterations(2);
+//! let mut config = OpusConfig::provisioned(SimDuration::from_millis(25));
+//! config.iterations = 2;
 //! let result = Scenario::new(cluster)
 //!     .job(dag, config)
 //!     .inject(SimTime::from_millis(5), ScenarioEvent::RailDown(RailId(0)))
@@ -67,8 +68,10 @@ pub use railsim_workload as workload;
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use opus::{
-        window_cdf, windows_on_rail, JobPlacement, OpusConfig, OpusController, OpusShim,
-        OpusSimulator, ReconfigPolicy, Scenario, ScenarioEvent, ScenarioResult, SimulationResult,
+        window_cdf, windows_on_rail, FailureModel, FleetService, Frontier, JobPlacement, JobSpec,
+        LevelSummary, OpusConfig, OpusController, OpusShim, OpusSimulator, Percentiles,
+        ProvisioningLevel, ReconfigPolicy, Scenario, ScenarioEvent, ScenarioResult, ScenarioSpec,
+        SimulationResult, SweepReport, SweepSpec, VariantResult,
     };
     pub use railsim_collectives::{Algorithm, CollectiveKind, CommGroup, GroupId, ParallelismAxis};
     pub use railsim_cost::{FabricKind, GpuBackendCostModel};

@@ -1,6 +1,8 @@
 //! Cross-crate consistency checks: the rank mapping, the cluster's rail structure, the
 //! circuit planner and the DAG builder must all agree about which traffic goes where.
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use photonic_rails::opus::{CircuitPlanner, GroupTable};
 use photonic_rails::prelude::*;
 use photonic_rails::workload::{RankMapping, TaskKind};

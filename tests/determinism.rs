@@ -4,6 +4,8 @@
 //! two identically-seeded runs ever diverge in *any* recorded metric, this fails on
 //! the full serialized result, not just on a summary statistic.
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use photonic_rails::prelude::*;
 
 fn serialized_run_threads(jitter_seed: u64, latency_ms: u64, threads: u32) -> String {

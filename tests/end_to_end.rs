@@ -1,6 +1,8 @@
 //! End-to-end integration tests: the fidelity expectations listed in DESIGN.md §6,
 //! exercised through the public API exactly the way the experiment binaries use it.
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use photonic_rails::cost::ocs_tech::{ocs_technologies, scaleup};
 use photonic_rails::opus::{
     default_traffic_buckets_mb, window_cdf, windows_by_following_traffic, windows_on_rail,

@@ -3,6 +3,8 @@
 //! invariants, collective cost-model monotonicity, rank-mapping bijectivity, Clos
 //! sizing bounds and DAG acyclicity across random parallelism configurations.
 
+#![allow(deprecated)] // the `with_*` chains here migrate to field style over time
+
 use photonic_rails::collectives::cost::{collective_time, CostParams};
 use photonic_rails::prelude::*;
 use photonic_rails::sim::{EventQueue, SimRng};
@@ -387,5 +389,87 @@ proptest! {
             build(base.with_memoization(false)),
             "memoized and naive paths diverged at {} shards x {} threads", shards, threads
         );
+    }
+
+    // ---- fleet service -------------------------------------------------------------
+
+    #[test]
+    fn fleet_sweeps_are_worker_count_invariant(
+        workers in 2u32..6,
+        traces in 1u32..4,
+        base_seed in 0u64..1000,
+    ) {
+        // The fleet pool's ordered results are a pure function of the sweep spec:
+        // any worker count must serialize byte-identically to the sequential run.
+        let service = tiny_fleet_service();
+        let mut sweep = tiny_fleet_sweep(base_seed, traces);
+        let sequential = service.evaluate(&sweep);
+        sweep.workers = workers;
+        let pooled = service.evaluate(&sweep);
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&sequential.variants).expect("variants serialize"),
+            serde_json::to_string_pretty(&pooled.variants).expect("variants serialize"),
+            "{} workers changed the ordered variant results", workers
+        );
+    }
+
+    #[test]
+    fn shared_template_variants_match_fresh_built_scenarios(
+        variant in 0usize..6,
+        base_seed in 0u64..1000,
+    ) {
+        // A sweep variant runs against the service's cached `Arc<TrainingDag>`
+        // template; rebuilding the same spec around a freshly constructed DAG must
+        // serialize byte-identically — sharing is a memory optimization, never an
+        // observable behavior.
+        let service = tiny_fleet_service();
+        let sweep = tiny_fleet_sweep(base_seed, 3);
+        let shared = service.variant_spec(&sweep, variant);
+        let mut fresh = shared.clone();
+        for job in &mut fresh.jobs {
+            job.dag = std::sync::Arc::new(tiny_fleet_dag());
+        }
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&shared.run()).expect("scenario results serialize"),
+            serde_json::to_string_pretty(&fresh.run()).expect("scenario results serialize")
+        );
+    }
+}
+
+/// The shared 4-node workload behind the fleet proptests.
+fn tiny_fleet_dag() -> TrainingDag {
+    let model = ModelConfig::tiny_test();
+    let parallel = ParallelismConfig::paper_llama3_8b();
+    let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+    DagBuilder::new(model, parallel, compute).build()
+}
+
+fn tiny_fleet_service() -> FleetService {
+    let service =
+        FleetService::new(ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4).build());
+    service.dag_template("tiny", tiny_fleet_dag);
+    service
+}
+
+fn tiny_fleet_sweep(base_seed: u64, traces: u32) -> SweepSpec {
+    SweepSpec {
+        template: "tiny".to_string(),
+        base_seed,
+        traces_per_level: traces,
+        levels: vec![
+            ProvisioningLevel::bare("electrical", ReconfigPolicy::Electrical, SimDuration::ZERO),
+            ProvisioningLevel::bare(
+                "piezo-25ms",
+                ReconfigPolicy::Provisioned,
+                SimDuration::from_millis(25),
+            ),
+        ],
+        failures: FailureModel {
+            max_outages: 2,
+            window: SimDuration::from_millis(60),
+            min_outage: SimDuration::from_millis(1),
+            max_outage: SimDuration::from_millis(10),
+        },
+        ..SweepSpec::default()
     }
 }
