@@ -1,0 +1,62 @@
+//! Micro-benchmark: the failure-aware replan hot path — degraded-schedule recompute
+//! plus the circuit swap it triggers.
+//!
+//! A DP ring occupies every GPU of rail 0 on a 1024-GPU DGX H200 cluster; the rail
+//! then fails. `replan_swap_recompute` isolates `CircuitPlanner::replan_degraded`:
+//! re-striping the dead rail's circuits onto the surviving rails (round-robin
+//! assignment + per-GPU port watermarks). `replan_swap_install` adds the fabric-side
+//! cost of actually swapping: installing the degraded plan on the surviving rails and
+//! tearing it back down (the `RailUp` swap-back), so one iteration is one full
+//! degrade/restore cycle — the work `RecoveryPolicy::Replan` pays per health
+//! transition, isolated from the event engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opus::CircuitPlanner;
+use railsim_bench::scaled_cluster;
+use railsim_collectives::{CommGroup, GroupId, ParallelismAxis};
+use railsim_sim::{SimDuration, SimTime};
+use railsim_topology::{OpticalRailFabric, RailId};
+
+fn bench_replan_swap(c: &mut Criterion) {
+    let cluster = scaled_cluster(1024);
+    let planner = CircuitPlanner::for_cluster(&cluster);
+    let failed = RailId(0);
+    let dp = CommGroup::new(
+        GroupId(0),
+        ParallelismAxis::Data,
+        cluster.gpus_in_rail(failed),
+    );
+    let pristine = planner.plan(&cluster, &dp);
+    assert!(pristine.per_rail.contains_key(&failed));
+    let healthy: Vec<RailId> = (1..cluster.num_rails()).map(RailId).collect();
+
+    c.bench_function("replan_swap_recompute", |b| {
+        b.iter(|| {
+            let degraded = planner.replan_degraded(&cluster, black_box(&pristine), healthy.clone());
+            assert!(!degraded.is_scaleup_only());
+            black_box(degraded)
+        })
+    });
+
+    let mut fabric = OpticalRailFabric::for_cluster(&cluster, SimDuration::from_millis(25));
+    let mut now = SimTime::ZERO;
+    c.bench_function("replan_swap_install", |b| {
+        b.iter(|| {
+            let degraded = planner.replan_degraded(&cluster, black_box(&pristine), healthy.clone());
+            // Degrade: the replanned circuits land on the surviving rails.
+            for (&rail, config) in &degraded.per_rail {
+                now = fabric
+                    .install(rail, config, now)
+                    .expect("radix covers the displaced ring");
+            }
+            // Restore (RailUp): withdraw the degraded plan again.
+            for (&rail, config) in &degraded.per_rail {
+                black_box(fabric.ocs_mut(rail).tear_down(config));
+            }
+            black_box(now)
+        })
+    });
+}
+
+criterion_group!(benches, bench_replan_swap);
+criterion_main!(benches);

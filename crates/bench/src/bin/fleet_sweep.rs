@@ -12,7 +12,9 @@
 //!
 //! * `--gpus` — cluster size (positive multiple of 64; DGX H200 nodes).
 //! * `--variants` — requested grid size; rounded up to a whole number of traces
-//!   per provisioning level (5 levels, so `--variants 32` runs 35).
+//!   per provisioning level. The ladder is the 5 standard points plus a
+//!   `+replan` twin (`RecoveryPolicy::Replan`, identical cost) for every optical
+//!   point, so the frontier prices the failure-aware control plane directly.
 //! * `--workers` — worker threads (default: available parallelism). The ordered
 //!   results are byte-identical for any worker count.
 //! * `--verify-workers` — additionally re-evaluate the sweep with 1 worker,
@@ -23,7 +25,7 @@
 //! `results/fleet_frontier.json`.
 
 use opus::fleet::{FailureModel, FleetService, ProvisioningLevel, SweepSpec, VariantResult};
-use opus::ReconfigPolicy;
+use opus::{ReconfigPolicy, RecoveryPolicy};
 use railsim_bench::{scaled_cluster, scaled_dag, Report};
 use railsim_cost::{standard_points, GpuBackendCostModel};
 use railsim_sim::SimDuration;
@@ -76,7 +78,7 @@ fn main() {
     // The provisioning ladder: electrical baseline + photonic points, priced by the
     // component catalog and the device-level tables.
     let cost_model = GpuBackendCostModel::dgx_h200_400g();
-    let levels: Vec<ProvisioningLevel> = standard_points(&cost_model, num_gpus as u64)
+    let base_levels: Vec<ProvisioningLevel> = standard_points(&cost_model, num_gpus as u64)
         .into_iter()
         .map(|p| ProvisioningLevel {
             label: p.label,
@@ -85,10 +87,23 @@ fn main() {
             } else {
                 ReconfigPolicy::Electrical
             },
+            recovery: RecoveryPolicy::Stall,
             reconfig_latency: p.reconfig_latency,
             capex_usd: p.capex_usd,
             power_watts: p.power_watts,
         })
+        .collect();
+    // Every optical point gets a replan twin at identical cost, so the frontier
+    // ranks the availability the failure-aware control plane buys per OCS class.
+    let levels: Vec<ProvisioningLevel> = base_levels
+        .iter()
+        .cloned()
+        .chain(
+            base_levels
+                .iter()
+                .filter(|l| l.policy.is_optical())
+                .map(|l| l.clone().with_recovery(RecoveryPolicy::Replan)),
+        )
         .collect();
     let traces_per_level = (requested_variants.div_ceil(levels.len()).max(2)) as u32;
 

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! table3_scalability [--gpus 1024,4096,10240,102400] [--iterations 2]
-//!                    [--parallel-threads N] [--policy electrical|optical|both]
+//!                    [--parallel-threads N] [--policy electrical|optical|replan|both]
 //!                    [--scenario clean|rail-flap|two-job] [--no-memo] [--skip-sim]
 //! ```
 //!
@@ -20,7 +20,9 @@
 //! EXPERIMENTS.md for the memory budget). `--parallel-threads N` steps each head
 //! time-slice on N scoped worker threads — results are byte-identical for any N.
 //! `--policy` restricts a point to one network policy (the default runs the
-//! electrical baseline and the provisioned optical policy back to back).
+//! electrical baseline and the provisioned optical policy back to back); `replan`
+//! runs the provisioned optical policy with `RecoveryPolicy::Replan`, so a
+//! `rail-flap` point reports the degraded-schedule inflation instead of the stall.
 //!
 //! `--scenario` selects what runs at each scale point (all three land in
 //! `results/table3_scale.json`, tagged by the `scenario` field):
@@ -39,7 +41,7 @@
 //!
 //! `--skip-sim` prints only the OCS technology table.
 
-use opus::{baseline_of, OpusConfig, Scenario, ScenarioEvent, ScenarioResult};
+use opus::{baseline_of, OpusConfig, RecoveryPolicy, Scenario, ScenarioEvent, ScenarioResult};
 use railsim_bench::{mem, scale_run_config, scaled_cluster, scaled_dag, Report};
 use railsim_cost::ocs_tech::{ocs_technologies, scaleup};
 use railsim_topology::RailId;
@@ -93,6 +95,8 @@ struct ScaleRun {
 enum PolicyFilter {
     Electrical,
     Optical,
+    /// The provisioned optical policy with `RecoveryPolicy::Replan`.
+    Replan,
     Both,
 }
 
@@ -167,8 +171,11 @@ fn parse_args() -> Args {
                 parsed.policy = match args.next().expect("--policy needs a value").as_str() {
                     "electrical" => PolicyFilter::Electrical,
                     "optical" => PolicyFilter::Optical,
+                    "replan" => PolicyFilter::Replan,
                     "both" => PolicyFilter::Both,
-                    other => panic!("--policy must be electrical, optical or both, got {other}"),
+                    other => {
+                        panic!("--policy must be electrical, optical, replan or both, got {other}")
+                    }
                 };
             }
             "--scenario" => {
@@ -312,11 +319,16 @@ fn run_scale_point(
         provisioned.memoize_steady_state = false;
     }
     let mut configs: Vec<(&'static str, OpusConfig)> = Vec::new();
-    if policy != PolicyFilter::Optical {
+    if matches!(policy, PolicyFilter::Electrical | PolicyFilter::Both) {
         configs.push(("electrical", baseline_of(&provisioned)));
     }
-    if policy != PolicyFilter::Electrical {
+    if matches!(policy, PolicyFilter::Optical | PolicyFilter::Both) {
         configs.push(("optical provisioned 25ms", provisioned));
+    }
+    if policy == PolicyFilter::Replan {
+        let mut replanned = provisioned;
+        replanned.recovery_policy = RecoveryPolicy::Replan;
+        configs.push(("optical provisioned 25ms replan", replanned));
     }
     // Move the DAG into its final use instead of cloning it everywhere: at 100k
     // GPUs a deep clone of the ~8.9M-task arena is seconds of memcpy and a
@@ -502,6 +514,7 @@ fn main() {
     let policies_note = match args.policy {
         PolicyFilter::Electrical => "the electrical run",
         PolicyFilter::Optical => "the optical run",
+        PolicyFilter::Replan => "the optical replan run",
         PolicyFilter::Both => "both policies",
     };
     report.note(format!(

@@ -14,7 +14,7 @@
 //! wrap-around pair (turning the ring into a chain) rather than failing — the paper's
 //! C1/C3 discussion notes exactly this degradation.
 
-use railsim_collectives::{ring::ring_neighbor_pairs, CommGroup};
+use railsim_collectives::{ring::ring_neighbor_pairs, CommGroup, RailStriper};
 use railsim_topology::{
     Circuit, CircuitConfig, Cluster, CommPath, GpuId, PathKind, PortId, RailId,
 };
@@ -115,6 +115,95 @@ impl CircuitPlanner {
             scaleup_pairs,
         }
     }
+
+    /// Re-plans `pristine` around dead rails: circuits on rails listed in `healthy`
+    /// are kept verbatim (ports included), while each dead rail's circuits are
+    /// re-striped onto a healthy rail chosen round-robin ([`RailStriper`]) — a
+    /// displaced circuit between GPUs `a` and `b` becomes a circuit between their
+    /// *node-mates* on the target rail (the PXN intermediates `gpu_at(node_of(a),
+    /// target)` / `gpu_at(node_of(b), target)`, which forward the traffic over
+    /// NVLink). Displaced circuits take fresh ports past whatever the kept circuits
+    /// already use on the target rail; when a GPU's port budget runs out the pair is
+    /// dropped (the ring degrades to a chain, counted in `dropped_pairs`), exactly
+    /// like [`CircuitPlanner::plan`].
+    ///
+    /// With no healthy rails at all, every pair is dropped and the result is empty —
+    /// callers should treat that as "cannot re-plan" and stall instead (an empty plan
+    /// would masquerade as scale-up-only).
+    ///
+    /// The result depends only on `pristine`, the cluster geometry and the sorted
+    /// healthy-rail set, so every shard/thread/worker arrangement derives the same
+    /// degraded plan.
+    pub fn replan_degraded(
+        &self,
+        cluster: &Cluster,
+        pristine: &GroupCircuits,
+        healthy: Vec<RailId>,
+    ) -> GroupCircuits {
+        let mut striper = RailStriper::new(healthy);
+        let mut per_rail_circuits: BTreeMap<RailId, Vec<Circuit>> = BTreeMap::new();
+        let mut next_port: HashMap<(RailId, GpuId), u8> = HashMap::new();
+        let mut dropped_pairs = pristine.dropped_pairs;
+
+        // Kept rails first: their circuits are untouched and seed the per-GPU port
+        // watermark displaced circuits must allocate past.
+        for (&rail, config) in &pristine.per_rail {
+            if !striper.is_healthy(rail) {
+                continue;
+            }
+            for c in config.circuits() {
+                for port in [c.a(), c.b()] {
+                    let slot = next_port.entry((rail, port.gpu)).or_insert(0);
+                    *slot = (*slot).max(port.port + 1);
+                }
+            }
+            per_rail_circuits.insert(rail, config.circuits().to_vec());
+        }
+
+        // Dead rails in ascending order, each displaced onto the next healthy rail.
+        for (&rail, config) in &pristine.per_rail {
+            if striper.is_healthy(rail) {
+                continue;
+            }
+            let Some(target) = striper.assign() else {
+                dropped_pairs += config.len();
+                continue;
+            };
+            for c in config.circuits() {
+                let node_a = cluster.node_of(c.a().gpu);
+                let node_b = cluster.node_of(c.b().gpu);
+                debug_assert_ne!(node_a, node_b, "rail circuits span nodes");
+                let a = cluster.gpu_at(node_a, target.0);
+                let b = cluster.gpu_at(node_b, target.0);
+                let pa = *next_port.entry((target, a)).or_insert(0);
+                let pb = *next_port.entry((target, b)).or_insert(0);
+                if pa >= self.ports_per_gpu || pb >= self.ports_per_gpu {
+                    dropped_pairs += 1;
+                    continue;
+                }
+                per_rail_circuits
+                    .entry(target)
+                    .or_default()
+                    .push(Circuit::new(PortId::new(a, pa), PortId::new(b, pb)));
+                *next_port.get_mut(&(target, a)).expect("just inserted") += 1;
+                *next_port.get_mut(&(target, b)).expect("just inserted") += 1;
+            }
+        }
+
+        let per_rail = per_rail_circuits
+            .into_iter()
+            .map(|(rail, circuits)| {
+                let config = CircuitConfig::new(circuits)
+                    .expect("watermarked port assignment cannot reuse a port");
+                (rail, config)
+            })
+            .collect();
+        GroupCircuits {
+            per_rail,
+            dropped_pairs,
+            scaleup_pairs: pristine.scaleup_pairs,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +295,87 @@ mod tests {
         let plan = planner.plan(&c, &g);
         assert_eq!(plan.rails(), vec![RailId(2)]);
         assert_eq!(plan.total_circuits(), 1);
+    }
+
+    #[test]
+    fn replan_moves_dead_rail_circuits_to_node_mates() {
+        // DP group {0, 4} rides rail 0; with rail 0 dead the circuit must re-stripe
+        // onto the first healthy rail between the same nodes' rail-1 GPUs (1 and 5).
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let dp = group(ParallelismAxis::Data, &[0, 4]);
+        let pristine = planner.plan(&c, &dp);
+        let healthy: Vec<RailId> = (1..4).map(RailId).collect();
+        let degraded = planner.replan_degraded(&c, &pristine, healthy);
+        assert_eq!(degraded.rails(), vec![RailId(1)]);
+        assert!(degraded.per_rail[&RailId(1)].connects_gpus(GpuId(1), GpuId(5)));
+        assert_eq!(degraded.total_circuits(), 1);
+        assert_eq!(degraded.dropped_pairs, pristine.dropped_pairs);
+    }
+
+    #[test]
+    fn replan_keeps_healthy_rail_circuits_verbatim() {
+        // PP group {2, 10} rides rail 2, which stays healthy: the degraded plan is
+        // byte-identical to the pristine one.
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let g = group(ParallelismAxis::Pipeline, &[2, 10]);
+        let pristine = planner.plan(&c, &g);
+        let healthy: Vec<RailId> = (1..4).map(RailId).collect();
+        let degraded = planner.replan_degraded(&c, &pristine, healthy);
+        assert_eq!(degraded, pristine);
+    }
+
+    #[test]
+    fn replan_drops_pairs_when_the_target_rail_port_budget_runs_out() {
+        // Single-port NICs: GPU 1 and 5 already hold a circuit on rail 1, so a
+        // displaced rail-0 circuit between the same nodes has no ports left.
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let on_rail1 = group(ParallelismAxis::Data, &[1, 5]);
+        let on_rail0 = group(ParallelismAxis::Data, &[0, 4]);
+        let mut pristine = planner.plan(&c, &on_rail1);
+        let displaced = planner.plan(&c, &on_rail0);
+        pristine
+            .per_rail
+            .insert(RailId(0), displaced.per_rail[&RailId(0)].clone());
+        let degraded = planner.replan_degraded(&c, &pristine, vec![RailId(1)]);
+        assert_eq!(degraded.rails(), vec![RailId(1)]);
+        assert_eq!(degraded.total_circuits(), 1, "only the kept circuit fits");
+        assert_eq!(degraded.dropped_pairs, 1);
+    }
+
+    #[test]
+    fn replan_with_no_healthy_rails_drops_everything() {
+        let c = cluster();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let dp = group(ParallelismAxis::Data, &[0, 4]);
+        let pristine = planner.plan(&c, &dp);
+        let degraded = planner.replan_degraded(&c, &pristine, Vec::new());
+        assert!(degraded.is_scaleup_only());
+        assert_eq!(degraded.dropped_pairs, 1);
+    }
+
+    #[test]
+    fn replan_with_multi_port_nics_shares_the_target_rail() {
+        // Dual-port NICs: the displaced rail-0 circuit coexists with the kept rail-1
+        // circuit on fresh ports.
+        let spec = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 4)
+            .with_nic(NicConfig::slingshot11_dual());
+        let c = spec.build();
+        let planner = CircuitPlanner::for_cluster(&c);
+        let on_rail1 = group(ParallelismAxis::Data, &[1, 5]);
+        let on_rail0 = group(ParallelismAxis::Data, &[0, 4]);
+        let mut pristine = planner.plan(&c, &on_rail1);
+        let displaced = planner.plan(&c, &on_rail0);
+        pristine
+            .per_rail
+            .insert(RailId(0), displaced.per_rail[&RailId(0)].clone());
+        let degraded = planner.replan_degraded(&c, &pristine, vec![RailId(1)]);
+        assert_eq!(degraded.rails(), vec![RailId(1)]);
+        assert_eq!(degraded.total_circuits(), 2);
+        assert_eq!(degraded.dropped_pairs, 0);
+        assert!(degraded.per_rail[&RailId(1)].connects_gpus(GpuId(1), GpuId(5)));
     }
 
     #[test]

@@ -68,6 +68,30 @@ impl ReconfigPolicy {
     }
 }
 
+/// How a job reacts to a rail failure that takes out circuits its collectives use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Stall until the rail recovers (the pre-replan behavior and the default):
+    /// the failed rail's circuits are torn down and every group touching it waits
+    /// for `RailUp` before its collectives can complete.
+    Stall,
+    /// Re-plan around the failure: swap affected groups onto a degraded schedule
+    /// that re-stripes the lost rings across the surviving rails (paying one
+    /// reconfiguration per swap and the α–β bandwidth penalty of fewer parallel
+    /// rails), and swap back to the pristine plan on `RailUp`.
+    Replan,
+}
+
+impl RecoveryPolicy {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Stall => "stall",
+            RecoveryPolicy::Replan => "replan",
+        }
+    }
+}
+
 /// Configuration of one Opus simulation run.
 ///
 /// All fields are public: start from a policy constructor ([`OpusConfig::electrical`],
@@ -125,6 +149,12 @@ pub struct OpusConfig {
     /// never engages with compute jitter, in multi-job scenarios, or across injected
     /// external events; see EXPERIMENTS.md for the detection/invalidation semantics.
     pub memoize_steady_state: bool,
+    /// How the job reacts to injected rail failures: [`RecoveryPolicy::Stall`] (the
+    /// default — wait for recovery, byte-identical to the pre-replan behavior) or
+    /// [`RecoveryPolicy::Replan`] (swap affected groups onto a degraded schedule
+    /// re-striped across the surviving rails). Ignored by the electrical baseline,
+    /// which has no circuits to lose.
+    pub recovery_policy: RecoveryPolicy,
 }
 
 impl Default for OpusConfig {
@@ -175,6 +205,7 @@ impl OpusConfig {
             event_shards: None,
             parallel_threads: None,
             memoize_steady_state: true,
+            recovery_policy: RecoveryPolicy::Stall,
         }
     }
 
@@ -332,6 +363,20 @@ mod tests {
         // Negative amplitudes clamp to zero exactly like SimRng::jitter does.
         assert!(base.with_jitter(-0.5, 1).jitter_inert());
         assert!(!base.with_jitter(f64::NAN, 1).jitter_inert());
+    }
+
+    #[test]
+    fn recovery_policy_defaults_to_stall() {
+        assert_eq!(
+            OpusConfig::electrical().recovery_policy,
+            RecoveryPolicy::Stall
+        );
+        assert_eq!(
+            OpusConfig::provisioned(SimDuration::from_millis(25)).recovery_policy,
+            RecoveryPolicy::Stall
+        );
+        assert_eq!(RecoveryPolicy::Stall.name(), "stall");
+        assert_eq!(RecoveryPolicy::Replan.name(), "replan");
     }
 
     #[test]

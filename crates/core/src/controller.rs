@@ -249,6 +249,23 @@ impl OpusController {
         lost
     }
 
+    /// Withdraws a group's circuits from the fabric: tears down exactly the circuits
+    /// of `circuits` that are currently installed, leaving other groups' circuits on
+    /// the same rails untouched. Returns how many circuits were removed.
+    ///
+    /// This is the plan-swap half of `RecoveryPolicy::Replan`: before installing a
+    /// degraded (or restored) plan, the old plan's surviving circuits are withdrawn so
+    /// the group never holds ports under two plans at once. Any real teardown bumps
+    /// the affected switch's epoch, so pre-evaluated install-ready answers for the old
+    /// plan are withdrawn with it; the next request pays the reconfiguration delay.
+    pub fn withdraw(&mut self, circuits: &GroupCircuits) -> usize {
+        let mut n = 0;
+        for (rail, config) in &circuits.per_rail {
+            n += self.fabric.ocs_mut(*rail).tear_down(config);
+        }
+        n
+    }
+
     /// Sets one rail's OCS reconfiguration delay (an `OcsDegraded` scenario injection:
     /// the switch still works, but reconfigures slower — or faster, after repair).
     /// Installed circuits and their ready times are untouched.
@@ -442,6 +459,31 @@ mod tests {
         ctrl.request(pp.id, &pp_circuits, SimTime::from_secs(20));
         assert_eq!(ctrl.circuit_epoch(), 2);
         assert_eq!(ctrl.installed_ready_time(&circuits), None);
+    }
+
+    #[test]
+    fn withdraw_removes_only_the_groups_circuits_and_bumps_the_epoch() {
+        let (cluster, mut ctrl, planner) = setup();
+        let a = dp_group(1, &[0, 4]);
+        let b = dp_group(2, &[1, 5]);
+        let ca = planner.plan(&cluster, &a);
+        let cb = planner.plan(&cluster, &b);
+        ctrl.request(a.id, &ca, SimTime::ZERO);
+        ctrl.request(b.id, &cb, SimTime::ZERO);
+        let epoch = ctrl.circuit_epoch();
+        let removed = ctrl.withdraw(&ca);
+        assert!(removed > 0, "group a held circuits");
+        assert!(!ctrl.is_installed(&ca));
+        assert!(ctrl.is_installed(&cb), "group b's circuits survive");
+        assert!(
+            ctrl.circuit_epoch() > epoch,
+            "a real withdraw bumps the epoch"
+        );
+        assert_eq!(ctrl.installed_ready_time(&ca), None);
+        // Withdrawing again is a free no-op.
+        let epoch = ctrl.circuit_epoch();
+        assert_eq!(ctrl.withdraw(&ca), 0);
+        assert_eq!(ctrl.circuit_epoch(), epoch);
     }
 
     #[test]

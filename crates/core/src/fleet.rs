@@ -61,7 +61,7 @@
 //! assert!(report.frontier.pareto_points() >= 1);
 //! ```
 
-use crate::config::{OpusConfig, ReconfigPolicy};
+use crate::config::{OpusConfig, ReconfigPolicy, RecoveryPolicy};
 use crate::scenario::{JobPlacement, ScenarioEvent, ScenarioSim, ScenarioSpec};
 use railsim_sim::{SimDuration, SimTime};
 use railsim_topology::{Cluster, RailId};
@@ -109,6 +109,14 @@ impl SplitMix64 {
     }
 }
 
+/// Number of rail outages (`RailDown` events) in an injected timeline.
+fn injected_outages(injections: &[(SimTime, ScenarioEvent)]) -> usize {
+    injections
+        .iter()
+        .filter(|(_, e)| matches!(e, ScenarioEvent::RailDown(_)))
+        .count()
+}
+
 // ---------------------------------------------------------------------------------
 // The sweep grid
 // ---------------------------------------------------------------------------------
@@ -124,6 +132,11 @@ pub struct ProvisioningLevel {
     pub label: String,
     /// The network policy this level runs.
     pub policy: ReconfigPolicy,
+    /// How jobs at this level react to rail failures — [`RecoveryPolicy::Stall`]
+    /// waits outages out, [`RecoveryPolicy::Replan`] re-stripes circuits around dead
+    /// rails. A sweep axis: pairing otherwise-identical levels lets the frontier
+    /// rank the availability the replan machinery buys per provisioning level.
+    pub recovery: RecoveryPolicy,
     /// OCS reconfiguration latency (ignored by the electrical policy).
     pub reconfig_latency: SimDuration,
     /// Fabric capital cost in USD (the frontier's cost axis).
@@ -138,10 +151,22 @@ impl ProvisioningLevel {
         ProvisioningLevel {
             label: label.to_string(),
             policy,
+            recovery: RecoveryPolicy::Stall,
             reconfig_latency,
             capex_usd: 0.0,
             power_watts: 0.0,
         }
+    }
+
+    /// The same level under a different recovery policy, `+replan`-suffixed when it
+    /// differs from the default (the cost figures are unchanged: replanning is a
+    /// control-plane behavior, not hardware).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        if recovery != self.recovery && recovery == RecoveryPolicy::Replan {
+            self.label = format!("{}+replan", self.label);
+        }
+        self.recovery = recovery;
+        self
     }
 }
 
@@ -372,6 +397,8 @@ pub struct LevelSummary {
     pub label: String,
     /// The level's policy.
     pub policy: ReconfigPolicy,
+    /// The level's recovery policy (stall vs replan).
+    pub recovery: RecoveryPolicy,
     /// The level's OCS reconfiguration latency.
     pub reconfig_latency: SimDuration,
     /// Capital cost (USD) — the frontier's cost axis.
@@ -451,6 +478,7 @@ impl Frontier {
                 LevelSummary {
                     label: level.label.clone(),
                     policy: level.policy,
+                    recovery: level.recovery,
                     reconfig_latency: level.reconfig_latency,
                     capex_usd: level.capex_usd,
                     power_watts: level.power_watts,
@@ -559,6 +587,7 @@ impl FleetService {
         config.compute_jitter = 0.0; // variants differ by their traces, not by jitter
         config.seed = sweep.seed_for(variant_idx);
         config.memoize_steady_state = sweep.memoize;
+        config.recovery_policy = level.recovery;
         let mut spec = ScenarioSpec::new((*self.cluster).clone()).job_placed(
             dag,
             config,
@@ -578,11 +607,7 @@ impl FleetService {
     fn run_variant(&self, sweep: &SweepSpec, variant_idx: usize) -> VariantResult {
         let (level, placement, trace) = sweep.coords(variant_idx);
         let spec = self.variant_spec(sweep, variant_idx);
-        let outages = spec
-            .injections
-            .iter()
-            .filter(|(_, e)| matches!(e, ScenarioEvent::RailDown(_)))
-            .count();
+        let outages = injected_outages(&spec.injections);
         let mut sim = ScenarioSim::build(spec);
         sim.run_scenario();
         let memoized_iterations = sim.job_memoized_iterations(0);
@@ -759,11 +784,7 @@ mod tests {
         let faulted = service.variant_spec(&sweep, 1);
         assert!(!faulted.injections.is_empty());
         // Down/up events pair up.
-        let downs = faulted
-            .injections
-            .iter()
-            .filter(|(_, e)| matches!(e, ScenarioEvent::RailDown(_)))
-            .count();
+        let downs = injected_outages(&faulted.injections);
         let ups = faulted
             .injections
             .iter()
@@ -846,6 +867,48 @@ mod tests {
         for level in &clean.frontier.levels {
             assert!(level.availability > 0.0 && level.availability <= 1.0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn the_frontier_ranks_replan_above_stall_under_failures() {
+        // Two otherwise-identical provisioned levels, one stalling and one
+        // re-planning, under the same seeded failure traces: the replan twin must
+        // buy availability (it trains through outages instead of waiting them out)
+        // at identical cost, so it Pareto-dominates its stall sibling.
+        let service = tiny_service();
+        let base = ProvisioningLevel::bare(
+            "piezo-25ms",
+            ReconfigPolicy::Provisioned,
+            SimDuration::from_millis(25),
+        );
+        let sweep = SweepSpec {
+            template: "tiny".to_string(),
+            traces_per_level: 4,
+            levels: vec![
+                base.clone(),
+                base.clone().with_recovery(RecoveryPolicy::Replan),
+            ],
+            failures: FailureModel {
+                max_outages: 2,
+                window: SimDuration::from_millis(60),
+                min_outage: SimDuration::from_millis(5),
+                max_outage: SimDuration::from_millis(30),
+            },
+            ..SweepSpec::default()
+        };
+        let report = service.evaluate(&sweep);
+        let stall = &report.frontier.levels[0];
+        let replan = &report.frontier.levels[1];
+        assert_eq!(replan.label, "piezo-25ms+replan");
+        assert_eq!(replan.recovery, RecoveryPolicy::Replan);
+        assert!(
+            replan.availability > stall.availability,
+            "replan must score higher availability under the failure model: \
+             {:.6} vs {:.6}",
+            replan.availability,
+            stall.availability
+        );
+        assert!(replan.pareto, "equal cost + higher availability is Pareto");
     }
 
     #[test]

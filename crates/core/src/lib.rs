@@ -69,7 +69,7 @@ pub mod simulation;
 pub mod window;
 
 pub use circuits::{CircuitPlanner, GroupCircuits};
-pub use config::{HostOffload, OpusConfig, ReconfigPolicy};
+pub use config::{HostOffload, OpusConfig, ReconfigPolicy, RecoveryPolicy};
 pub use controller::OpusController;
 pub use fleet::{
     FailureModel, FleetService, Frontier, LevelSummary, Percentiles, ProvisioningLevel,

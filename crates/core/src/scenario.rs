@@ -60,17 +60,28 @@
 //! no scheduled recovery makes any job that still needs it panic with a diagnostic:
 //! scenarios are declared up front, so an unsatisfiable timeline is a scenario bug,
 //! not a simulation outcome.
+//!
+//! That stalling behavior is [`RecoveryPolicy::Stall`](crate::RecoveryPolicy), the
+//! default. Under [`RecoveryPolicy::Replan`](crate::RecoveryPolicy) an optical job
+//! instead swaps every affected group onto a *degraded* circuit plan the moment the
+//! failure commits: the dead rail's ring circuits are re-striped onto surviving
+//! rails (fresh ports on the node-mate GPUs of those rails), the collective cost
+//! model is derated by the lost rail parallelism, and the group pays one
+//! reconfiguration delay to install the new circuits. On `RailUp` the pristine plan
+//! is restored the same way. [`JobResult`] reports the stall-vs-replan inflation
+//! inputs: degraded iterations, replan reconfigurations and time under a degraded
+//! plan.
 
 use crate::circuits::{CircuitPlanner, GroupCircuits};
 use crate::config::OpusConfig;
-use crate::config::ReconfigPolicy;
+use crate::config::{ReconfigPolicy, RecoveryPolicy};
 use crate::controller::OpusController;
 use crate::group_table::GroupTable;
 use crate::metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
 use crate::shim::OpusShim;
 use railsim_collectives::{
     cost::{collective_time, CostParams},
-    CollectiveKind, CommGroup, GroupId, ParallelismAxis,
+    degraded_params, CollectiveKind, CommGroup, GroupId, ParallelismAxis,
 };
 use railsim_sim::{ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
 use railsim_topology::{
@@ -294,6 +305,14 @@ pub struct JobResult {
     pub gpu_offset: u32,
     /// The network policy it ran under.
     pub policy: ReconfigPolicy,
+    /// Iterations during which the job ran — for any part of the iteration — on a
+    /// replan-degraded circuit plan. Always 0 under [`RecoveryPolicy::Stall`].
+    pub degraded_iterations: u32,
+    /// Circuit-plan swaps the replan machinery performed for this job (each degrade,
+    /// re-stripe and restore transition counts once per affected group).
+    pub replan_reconfigs: u64,
+    /// Total simulated time the job spent with at least one group on a degraded plan.
+    pub time_under_degraded_plan: SimDuration,
     /// Its per-iteration metrics, exactly as a standalone
     /// [`OpusSimulator`](crate::OpusSimulator) run reports them.
     pub result: SimulationResult,
@@ -380,6 +399,27 @@ struct CircuitSlot {
     /// Member count of the group (collective cost-model input).
     group_size: u32,
     circuits: GroupCircuits,
+    /// The undegraded plan, stashed while `circuits` holds a replan-degraded plan
+    /// (`None` whenever the live plan *is* the pristine plan). Boxed so the common
+    /// healthy case costs one pointer, not a second `GroupCircuits`.
+    pristine: Option<Box<GroupCircuits>>,
+    /// Bumped on every plan swap. [`EventPlan`]s carry the version they were prepped
+    /// against, so a swap that commits between prep and commit invalidates them and
+    /// the commit recomputes against the live plan (see
+    /// [`ScenarioSim::replan_after_health_change`]).
+    version: u32,
+}
+
+impl CircuitSlot {
+    /// The slot's effective scale-out cost parameters: while a degraded plan is live,
+    /// bandwidth is derated by the ratio of live to pristine rail counts (the
+    /// surviving rails carry the displaced traffic on top of their own).
+    fn adjust_params(&self, params: CostParams) -> CostParams {
+        match self.pristine.as_deref() {
+            Some(p) => degraded_params(&params, p.per_rail.len(), self.circuits.per_rail.len()),
+            None => params,
+        }
+    }
 }
 
 /// Sentinel slot index for tasks without circuit demand (compute tasks).
@@ -401,6 +441,11 @@ struct EventPlan {
     /// keeps results byte-identical to the sequential path; a stale or absent plan
     /// falls back to the full controller request.
     optical_ready: Option<(u64, SimTime)>,
+    /// The [`CircuitSlot::version`] the plan was computed against (0 for tasks
+    /// without circuit demand). A replan swap committed after prep bumps the slot
+    /// version, and the mismatch makes the commit recompute both the duration and the
+    /// optical path against the live plan.
+    slot_version: u32,
 }
 
 /// One entry of the sorted injected timeline.
@@ -504,6 +549,19 @@ struct JobContext {
     done_left: usize,
     completed: Vec<IterationResult>,
     memo: MemoState,
+    // ---- replan (RecoveryPolicy::Replan) state ----
+    /// Circuit-pool slots currently running a degraded plan.
+    degraded_slots: u32,
+    /// When the job's current degraded period began (`None` while fully pristine).
+    degraded_since: Option<SimTime>,
+    /// Closed degraded periods, accumulated; an open period is closed at collection.
+    time_under_degraded_plan: SimDuration,
+    /// Plan swaps performed for this job (degrades, re-stripes and restores).
+    replan_reconfigs: u64,
+    /// Completed iterations that ran degraded for any part of their span.
+    degraded_iterations: u32,
+    /// The in-flight iteration has run degraded at some point.
+    iter_degraded: bool,
 }
 
 /// The scale-out network backend shared by every job of the scenario.
@@ -904,6 +962,12 @@ impl ScenarioSim {
                 min_pair: 1,
                 fast_forwarded: 0,
             },
+            degraded_slots: 0,
+            degraded_since: None,
+            time_under_degraded_plan: SimDuration::ZERO,
+            replan_reconfigs: 0,
+            degraded_iterations: 0,
+            iter_degraded: false,
         }
     }
 
@@ -996,6 +1060,8 @@ impl ScenarioSim {
                     group: id,
                     group_size: dag.groups[&id].size() as u32,
                     circuits,
+                    pristine: None,
+                    version: 0,
                 });
                 slot
             })
@@ -1024,6 +1090,8 @@ impl ScenarioSim {
                                 group: pseudo.id,
                                 group_size: 2,
                                 circuits: planner.plan(cluster, &pseudo),
+                                pristine: None,
+                                version: 0,
                             });
                             slot
                         }
@@ -1165,16 +1233,29 @@ impl ScenarioSim {
             injections_applied: self.fleet.injections_applied,
             makespan: self.makespan,
         };
+        let makespan = self.makespan;
         let jobs = self
             .jobs
             .into_iter()
-            .map(|ctx| JobResult {
-                job: ctx.job,
-                gpu_offset: ctx.gpu_offset,
-                policy: ctx.config.policy,
-                result: SimulationResult {
-                    iterations: ctx.completed,
-                },
+            .map(|mut ctx| {
+                // A degraded period still open at collection time ends at the
+                // scenario's makespan (the outage was never recovered).
+                if let Some(since) = ctx.degraded_since.take() {
+                    ctx.time_under_degraded_plan = ctx
+                        .time_under_degraded_plan
+                        .saturating_add(makespan.duration_since(since));
+                }
+                JobResult {
+                    job: ctx.job,
+                    gpu_offset: ctx.gpu_offset,
+                    policy: ctx.config.policy,
+                    degraded_iterations: ctx.degraded_iterations,
+                    replan_reconfigs: ctx.replan_reconfigs,
+                    time_under_degraded_plan: ctx.time_under_degraded_plan,
+                    result: SimulationResult {
+                        iterations: ctx.completed,
+                    },
+                }
             })
             .collect();
         ScenarioResult { jobs, fleet }
@@ -1184,6 +1265,7 @@ impl ScenarioSim {
     fn start_iteration(&mut self, j: usize, at: SimTime, engine: &mut ShardedEngine<SimEvent>) {
         let ctx = &mut self.jobs[j];
         ctx.iter_start = at;
+        ctx.iter_degraded = ctx.degraded_slots > 0;
         ctx.remaining.clear();
         ctx.remaining
             .extend(ctx.dag.tasks.iter().map(|t| t.deps.len()));
@@ -1220,6 +1302,9 @@ impl ScenarioSim {
         };
         ctx.total_circuit_wait = SimDuration::ZERO;
         ctx.completed.push(result);
+        if ctx.iter_degraded {
+            ctx.degraded_iterations += 1;
+        }
         if ctx.iteration == 0 {
             ctx.shim.finish_profiling();
         }
@@ -1387,6 +1472,12 @@ impl ScenarioSim {
             total_circuit_wait,
         });
         ctx.memo.fast_forwarded += 1;
+        // A fast-forward replays a steady iteration under whatever plan was live when
+        // the template was recorded; swaps invalidate the memo, so the degraded state
+        // is constant across the whole replayed window.
+        if ctx.degraded_slots > 0 {
+            ctx.degraded_iterations += 1;
+        }
         ctx.iteration += 1;
         if ctx.iteration < ctx.config.iterations && !self.try_fast_forward(j, now, engine) {
             self.start_iteration(j, now, engine);
@@ -1488,8 +1579,16 @@ impl ScenarioSim {
                 if let Some(c) = self.fleet.backend.controller_mut() {
                     c.rail_failed(rail);
                 }
+                self.replan_after_health_change(now);
             }
-            ScenarioEvent::RailUp(rail) => self.fleet.health.recover(rail, now),
+            ScenarioEvent::RailUp(rail) => {
+                // Overlapping outage pulses collapse into one outage, leaving the
+                // later `RailUp` with nothing to close — `recover` asserts on that.
+                if !self.fleet.health.is_up(rail) {
+                    self.fleet.health.recover(rail, now);
+                    self.replan_after_health_change(now);
+                }
+            }
             ScenarioEvent::OcsDegraded {
                 rail,
                 reconfig_latency,
@@ -1509,6 +1608,122 @@ impl ScenarioSim {
         }
     }
 
+    /// Re-plans every `RecoveryPolicy::Replan` job's circuit demands against the rail
+    /// health that the just-committed injection left behind. Per slot, exactly one of
+    /// four transitions applies: nothing (pristine plan, all its rails up), *degrade*
+    /// (a rail under the pristine plan just failed: re-stripe its circuits onto
+    /// surviving rails via [`CircuitPlanner::replan_degraded`]), *re-stripe* (already
+    /// degraded and the healthy set changed again), or *restore* (every rail of the
+    /// pristine plan is back). Swapped-out circuits are withdrawn from the fabric —
+    /// bumping the circuit epoch, which invalidates any concurrently prepped
+    /// `optical_ready` — and the new plan is installed lazily by the group's next
+    /// request, paying one reconfiguration delay. Everything here runs at injection
+    /// commit time, so the swap is a deterministic function of the committed timeline
+    /// and results stay byte-identical for any shard or thread count.
+    fn replan_after_health_change(&mut self, now: SimTime) {
+        let ScenarioSim {
+            cluster,
+            jobs,
+            fleet,
+            ..
+        } = self;
+        if !jobs.iter().any(|c| {
+            c.config.recovery_policy == RecoveryPolicy::Replan && c.config.policy.is_optical()
+        }) {
+            return;
+        }
+        let healthy: Vec<RailId> = fleet.health.healthy_rails().collect();
+        let planner = CircuitPlanner::for_cluster(cluster);
+        for ctx in jobs.iter_mut() {
+            if ctx.config.recovery_policy != RecoveryPolicy::Replan
+                || !ctx.config.policy.is_optical()
+            {
+                continue;
+            }
+            let mut swapped = false;
+            for slot in &mut ctx.circuit_pool {
+                let pristine_hit = slot
+                    .pristine
+                    .as_deref()
+                    .unwrap_or(&slot.circuits)
+                    .per_rail
+                    .keys()
+                    .any(|&r| !fleet.health.is_up(r));
+                match (slot.pristine.is_some(), pristine_hit) {
+                    // The live plan is pristine and every rail it needs is up.
+                    (false, false) => {}
+                    // A rail under the pristine plan failed: degrade. The failed
+                    // rail's circuits are already gone (`rail_failed` cleared its
+                    // OCS) and the surviving rails' circuits are reused verbatim, so
+                    // nothing needs withdrawing; only the displaced circuits install
+                    // on the group's next request.
+                    (false, true) => {
+                        let degraded =
+                            planner.replan_degraded(cluster, &slot.circuits, healthy.clone());
+                        // An empty degraded plan would masquerade as scale-up-only
+                        // traffic; with no healthy rail to re-stripe onto, the group
+                        // stalls exactly like today.
+                        if degraded.is_scaleup_only() && !slot.circuits.is_scaleup_only() {
+                            continue;
+                        }
+                        slot.pristine =
+                            Some(Box::new(std::mem::replace(&mut slot.circuits, degraded)));
+                        slot.version += 1;
+                        ctx.replan_reconfigs += 1;
+                        swapped = true;
+                    }
+                    // Already degraded, and the healthy set changed again: re-stripe
+                    // against the current survivors (the round-robin targets shift
+                    // with the healthy list, so the plan may change even when the
+                    // event hit a rail this group never used).
+                    (true, true) => {
+                        let pristine = slot.pristine.as_deref().expect("matched is_some");
+                        let degraded = planner.replan_degraded(cluster, pristine, healthy.clone());
+                        if degraded == slot.circuits {
+                            continue;
+                        }
+                        if let Some(c) = fleet.backend.controller_mut() {
+                            c.withdraw(&slot.circuits);
+                        }
+                        slot.circuits = degraded;
+                        slot.version += 1;
+                        ctx.replan_reconfigs += 1;
+                        swapped = true;
+                    }
+                    // Every rail of the pristine plan is back: restore it. The
+                    // degraded circuits come down now; the pristine set reinstalls on
+                    // the next request, paying the reconfiguration delay once.
+                    (true, false) => {
+                        if let Some(c) = fleet.backend.controller_mut() {
+                            c.withdraw(&slot.circuits);
+                        }
+                        slot.circuits = *slot.pristine.take().expect("matched is_some");
+                        slot.version += 1;
+                        ctx.replan_reconfigs += 1;
+                        swapped = true;
+                    }
+                }
+            }
+            ctx.degraded_slots = ctx
+                .circuit_pool
+                .iter()
+                .filter(|s| s.pristine.is_some())
+                .count() as u32;
+            if ctx.degraded_slots > 0 {
+                if ctx.degraded_since.is_none() {
+                    ctx.degraded_since = Some(now);
+                }
+            } else if let Some(since) = ctx.degraded_since.take() {
+                ctx.time_under_degraded_plan = ctx
+                    .time_under_degraded_plan
+                    .saturating_add(now.duration_since(since));
+            }
+            if swapped {
+                ctx.iter_degraded = true;
+            }
+        }
+    }
+
     /// The pure (state-independent) part of handling an event, safe to evaluate on a
     /// worker thread before its commit turn: the cost-model duration of a
     /// communication task, plus the optical install feasibility/ready-time check
@@ -1519,9 +1734,15 @@ impl ScenarioSim {
         match event {
             SimEvent::Ready(j, id) => {
                 let ctx = &self.jobs[j as usize];
+                let slot = ctx.task_circuit_slot[id.0 as usize];
                 Some(EventPlan {
                     duration: Self::plan_comm_duration(ctx, &self.cluster, id),
                     optical_ready: self.plan_optical_ready(ctx, id),
+                    slot_version: if slot == NO_SLOT {
+                        0
+                    } else {
+                        ctx.circuit_pool[slot as usize].version
+                    },
                 })
             }
             SimEvent::Done(..) | SimEvent::External(_) | SimEvent::FastForward(_) => None,
@@ -1576,7 +1797,10 @@ impl ScenarioSim {
                 .config
                 .host_offload
                 .is_some_and(|h| bytes <= h.threshold);
-        let params = Self::comm_params(&ctx.config, cluster, scaleout, offloaded);
+        let mut params = Self::comm_params(&ctx.config, cluster, scaleout, offloaded);
+        if scaleout && !offloaded {
+            params = slot.adjust_params(params);
+        }
         Some(collective_time(
             kind,
             ctx.config.scaleout_algorithm,
@@ -1687,6 +1911,10 @@ impl ScenarioSim {
         let iteration = ctx.iteration;
         let config = &ctx.config;
         let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+        // A plan prepped before a replan swap committed describes the old circuits;
+        // drop it and recompute against the live slot (recomputation is
+        // deterministic, so over-invalidation cannot perturb results).
+        let planned = planned.filter(|p| p.slot_version == slot.version);
         let circuit_group = slot.group;
         let circuits = &slot.circuits;
         let group_size = if group.is_some() {
@@ -1708,7 +1936,10 @@ impl ScenarioSim {
         }
 
         let duration = planned.and_then(|p| p.duration).unwrap_or_else(|| {
-            let params = Self::comm_params(config, cluster, scaleout, offloaded);
+            let mut params = Self::comm_params(config, cluster, scaleout, offloaded);
+            if scaleout && !offloaded {
+                params = slot.adjust_params(params);
+            }
             collective_time(kind, config.scaleout_algorithm, group_size, bytes, &params)
         });
 
@@ -2267,6 +2498,162 @@ mod tests {
             scenario = scenario.job(empty.clone(), config);
         }
         let _ = scenario.run();
+    }
+
+    /// The standard rail-flap pulse of this module (fail rail 0 a quarter into
+    /// iteration 1, recover half an iteration later) under `config`.
+    fn flapped_scenario(config: OpusConfig) -> ScenarioResult {
+        let clean = clean_single(config);
+        let t1 = clean.iterations[1].started_at;
+        let dur = clean.iterations[1].iteration_time;
+        let down = t1 + dur.mul_f64(0.25);
+        let up = down + dur.mul_f64(0.5);
+        Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(down, ScenarioEvent::RailDown(RailId(0)))
+            .inject(up, ScenarioEvent::RailUp(RailId(0)))
+            .run()
+    }
+
+    #[test]
+    fn replan_beats_stall_on_the_same_flap() {
+        let stall = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        let mut replan = stall;
+        replan.recovery_policy = RecoveryPolicy::Replan;
+        let clean = clean_single(stall);
+        let stalled = flapped_scenario(stall);
+        let replanned = flapped_scenario(replan);
+        let inflation = |r: &ScenarioResult| {
+            r.jobs[0].result.iterations[1].iteration_time.as_secs_f64()
+                / clean.iterations[1].iteration_time.as_secs_f64()
+        };
+        assert!(
+            inflation(&replanned) < inflation(&stalled),
+            "re-planning around the dead rail must inflate the faulted iteration \
+             strictly less than stalling: {:.4}x vs {:.4}x",
+            inflation(&replanned),
+            inflation(&stalled)
+        );
+        // Stall reports no replan activity; replan reports the degrade + restore.
+        assert_eq!(stalled.jobs[0].degraded_iterations, 0);
+        assert_eq!(stalled.jobs[0].replan_reconfigs, 0);
+        assert_eq!(stalled.jobs[0].time_under_degraded_plan, SimDuration::ZERO);
+        assert!(replanned.jobs[0].degraded_iterations >= 1);
+        assert!(
+            replanned.jobs[0].replan_reconfigs >= 2,
+            "a flap is at least one degrade and one restore, got {}",
+            replanned.jobs[0].replan_reconfigs
+        );
+        assert!(replanned.jobs[0].time_under_degraded_plan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn replan_degraded_clock_spans_exactly_the_outage() {
+        let mut config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        config.recovery_policy = RecoveryPolicy::Replan;
+        let clean = clean_single(config);
+        let t1 = clean.iterations[1].started_at;
+        let dur = clean.iterations[1].iteration_time;
+        let down = t1 + dur.mul_f64(0.25);
+        let up = down + dur.mul_f64(0.5);
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(down, ScenarioEvent::RailDown(RailId(0)))
+            .inject(up, ScenarioEvent::RailUp(RailId(0)))
+            .run();
+        // The degraded period opens at the RailDown commit and closes at the RailUp
+        // commit: the swap happens inside the injection, not lazily at the next use.
+        assert_eq!(
+            result.jobs[0].time_under_degraded_plan,
+            up.duration_since(down)
+        );
+    }
+
+    #[test]
+    fn replan_survives_an_unrecovered_outage_that_stalls_forever() {
+        // The stall twin of this timeline panics ("no scheduled recovery", pinned by
+        // `unrecovered_rail_failure_is_a_scenario_bug`): the degraded plan excludes
+        // the dead rail, so a replan job keeps training to the end of the scenario.
+        let mut config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        config.recovery_policy = RecoveryPolicy::Replan;
+        let result = Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(SimTime::from_micros(1), ScenarioEvent::RailDown(RailId(0)))
+            .run();
+        assert_eq!(result.jobs[0].result.iterations.len(), 3);
+        assert!(
+            result.jobs[0].degraded_iterations >= 2,
+            "every iteration after the failure runs degraded, got {}",
+            result.jobs[0].degraded_iterations
+        );
+        // The outage never closes, so the degraded clock runs to the makespan.
+        assert_eq!(
+            result.jobs[0].time_under_degraded_plan,
+            result
+                .fleet
+                .makespan
+                .duration_since(SimTime::from_micros(1))
+        );
+    }
+
+    #[test]
+    fn replan_policy_on_electrical_jobs_is_inert() {
+        // Electrical fabrics have no circuits to re-stripe; the policy knob must not
+        // change their (stalling) behavior or invent replan metrics.
+        let stall = OpusConfig::electrical()
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        let mut replan = stall;
+        replan.recovery_policy = RecoveryPolicy::Replan;
+        let a = flapped_scenario(stall);
+        let b = flapped_scenario(replan);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(b.jobs[0].replan_reconfigs, 0);
+    }
+
+    #[test]
+    fn shard_and_thread_counts_never_change_replan_results() {
+        // A replan job and a stall job sharing the fabric, with swaps landing
+        // mid-iteration: results must stay byte-identical for any shard x thread
+        // combination (the slot-version guard invalidates concurrently prepped
+        // plans deterministically).
+        let stall = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        let mut replan = stall;
+        replan.recovery_policy = RecoveryPolicy::Replan;
+        let clean = clean_single(stall);
+        let t1 = clean.iterations[1].started_at;
+        let dur = clean.iterations[1].iteration_time;
+        let run = |config: OpusConfig| {
+            Scenario::new(tiny_cluster(8))
+                .job(tiny_dag(), config)
+                .job(tiny_dag(), stall)
+                .inject(t1 + dur.mul_f64(0.25), ScenarioEvent::RailDown(RailId(0)))
+                .inject(t1 + dur.mul_f64(0.75), ScenarioEvent::RailUp(RailId(0)))
+                .run()
+        };
+        let reference = run(replan);
+        assert!(
+            reference.jobs[0].replan_reconfigs > 0,
+            "the flap must actually trigger replans for the determinism check to bite"
+        );
+        for (shards, threads) in [(1u32, 1u32), (2, 4), (64, 8)] {
+            let alt = run(replan
+                .with_event_shards(shards)
+                .with_parallel_threads(threads));
+            assert_eq!(
+                format!("{alt:?}"),
+                format!("{reference:?}"),
+                "{shards} shards x {threads} threads"
+            );
+        }
     }
 
     #[test]

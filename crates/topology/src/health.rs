@@ -80,16 +80,35 @@ impl RailHealth {
     }
 
     /// Marks `rail` as recovered at `now`, closing the outage and accumulating its
-    /// downtime. Recovering an up rail is a no-op (a stray `RailUp` injection).
+    /// downtime.
+    ///
+    /// Recovering an up rail is a scheduling bug in the caller's injection timeline —
+    /// a `RailUp` with no outstanding outage — and fires a `debug_assert` so it
+    /// surfaces in tests; release builds tolerate it as a no-op. Callers whose
+    /// timelines can legitimately produce stray recoveries (overlapping outage pulses
+    /// collapse into one outage, leaving the later `RailUp` with nothing to close)
+    /// should gate on [`RailHealth::is_up`] first.
     ///
     /// # Panics
     /// Panics if `rail` is out of range.
     pub fn recover(&mut self, rail: RailId, now: SimTime) {
+        debug_assert!(
+            !self.is_up(rail),
+            "recover() called on healthy rail {rail:?}: stray RailUp in the injection timeline"
+        );
         if self.down_until[rail.index()].take().is_some() {
             let since = self.down_since[rail.index()];
             self.downtime[rail.index()] =
                 self.downtime[rail.index()].saturating_add(now.duration_since(since.min(now)));
         }
+    }
+
+    /// Iterates over the rails currently up, in ascending rail order.
+    pub fn healthy_rails(&self) -> impl Iterator<Item = RailId> + '_ {
+        self.down_until
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_none().then_some(RailId(i as u32)))
     }
 
     /// The earliest time at or after which `rail` can carry new traffic: `None` when
@@ -162,10 +181,36 @@ mod tests {
     }
 
     #[test]
-    fn double_fail_is_one_outage_and_stray_recover_is_a_noop() {
+    fn healthy_rails_iterates_the_up_set_in_order() {
+        let mut h = RailHealth::new(4);
+        assert_eq!(
+            h.healthy_rails().collect::<Vec<_>>(),
+            vec![RailId(0), RailId(1), RailId(2), RailId(3)]
+        );
+        h.fail(RailId(2), SimTime::ZERO, None);
+        h.fail(RailId(0), SimTime::ZERO, None);
+        assert_eq!(
+            h.healthy_rails().collect::<Vec<_>>(),
+            vec![RailId(1), RailId(3)]
+        );
+        h.recover(RailId(0), SimTime::from_millis(1));
+        assert_eq!(
+            h.healthy_rails().collect::<Vec<_>>(),
+            vec![RailId(0), RailId(1), RailId(3)]
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stray RailUp")]
+    fn stray_recover_asserts_in_debug_builds() {
         let mut h = RailHealth::new(1);
-        h.recover(RailId(0), SimTime::from_millis(5)); // stray RailUp
-        assert!(h.is_up(RailId(0)));
+        h.recover(RailId(0), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn double_fail_is_one_outage() {
+        let mut h = RailHealth::new(1);
         h.fail(
             RailId(0),
             SimTime::from_millis(10),

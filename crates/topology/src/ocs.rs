@@ -566,6 +566,32 @@ impl Ocs {
         n
     }
 
+    /// Tears down exactly the circuits of `config` that are currently installed
+    /// (requested circuits that are absent — or whose ports were re-matched to other
+    /// peers in the meantime — are skipped). Returns how many were removed.
+    ///
+    /// This is the surgical inverse of [`Ocs::install`] for plan swaps: withdrawing a
+    /// group's old plan must not disturb circuits other groups still hold on the same
+    /// switch, which [`Ocs::clear`] would.
+    pub fn tear_down(&mut self, config: &CircuitConfig) -> usize {
+        let mut n = 0;
+        for c in config.circuits() {
+            let (a, b) = (self.dense(c.a()), self.dense(c.b()));
+            if self.peer.get(a).copied() == Some(b as u32) {
+                self.peer[a] = NO_PEER;
+                self.peer[b] = NO_PEER;
+                self.circuits_torn_down += 1;
+                self.num_circuits -= 1;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.reconfig_count += 1;
+            self.epoch += 1;
+        }
+        n
+    }
+
     /// Tears down every installed circuit.
     pub fn clear(&mut self) {
         if self.num_circuits > 0 {
@@ -712,6 +738,41 @@ mod tests {
         assert_eq!(ocs.tear_down_gpu(GpuId(0)), 1);
         assert_eq!(ocs.num_circuits(), 1);
         assert_eq!(ocs.tear_down_gpu(GpuId(7)), 0);
+    }
+
+    #[test]
+    fn tear_down_removes_only_the_given_config() {
+        let mut ocs = Ocs::new(16, SimDuration::ZERO);
+        let mine = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let theirs = CircuitConfig::new(vec![Circuit::new(port(2, 0), port(3, 0))]).unwrap();
+        ocs.install(&mine, SimTime::ZERO).unwrap();
+        ocs.install(&theirs, SimTime::ZERO).unwrap();
+        let epoch = ocs.epoch();
+        assert_eq!(ocs.tear_down(&mine), 1);
+        assert_eq!(ocs.num_circuits(), 1, "the other group's circuit survives");
+        assert!(ocs.gpus_connected(GpuId(2), GpuId(3), SimTime::ZERO));
+        assert!(ocs.epoch() > epoch, "a real teardown bumps the epoch");
+        // Withdrawing an absent config is a free no-op.
+        let epoch = ocs.epoch();
+        assert_eq!(ocs.tear_down(&mine), 0);
+        assert_eq!(
+            ocs.epoch(),
+            epoch,
+            "a no-op teardown must not bump the epoch"
+        );
+    }
+
+    #[test]
+    fn tear_down_skips_rematched_ports() {
+        // Port (0,0) was re-matched to GPU 2 after `old` was displaced: withdrawing
+        // `old` must not disturb the newer circuit.
+        let mut ocs = Ocs::new(16, SimDuration::ZERO);
+        let old = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(1, 0))]).unwrap();
+        let newer = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(2, 0))]).unwrap();
+        ocs.install(&old, SimTime::ZERO).unwrap();
+        ocs.install(&newer, SimTime::ZERO).unwrap();
+        assert_eq!(ocs.tear_down(&old), 0);
+        assert!(ocs.gpus_connected(GpuId(0), GpuId(2), SimTime::ZERO));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! The example prints the per-iteration inflation against a clean run of the same
 //! policy: the electrical fabric only waits out the outage, while the photonic fabric
 //! additionally pays a fresh circuit install for every group the failure tore down.
+//! A third run flips the photonic fabric to `RecoveryPolicy::Replan`, which
+//! re-stripes the dead rail's circuits onto the surviving rails instead of stalling.
 //!
 //! ```sh
 //! cargo run --release --example fault_injection
@@ -25,12 +27,18 @@ fn cluster() -> Cluster {
 }
 
 fn main() {
+    let replanned = {
+        let mut config = OpusConfig::provisioned(SimDuration::from_millis(25));
+        config.recovery_policy = RecoveryPolicy::Replan;
+        config
+    };
     let policies = [
         ("electrical rail switches", OpusConfig::electrical()),
         (
             "photonic rails, 25 ms OCS, provisioned",
             OpusConfig::provisioned(SimDuration::from_millis(25)),
         ),
+        ("photonic rails, 25 ms OCS, provisioned + replan", replanned),
     ];
 
     println!("fault injection: RailDown(rail0) pulse during iteration 1, 3-iteration job\n");
@@ -61,7 +69,8 @@ fn main() {
             .inject(up, ScenarioEvent::RailUp(RailId(0)))
             .run();
         let fleet = &faulted.fleet;
-        let faulted = &faulted.jobs[0].result;
+        let job = &faulted.jobs[0];
+        let faulted = &job.result;
 
         println!("{name}");
         println!(
@@ -89,14 +98,23 @@ fn main() {
             fleet.rail_failures[0], fleet.rail_downtime[0]
         );
         println!(
-            "  reconfigs clean vs faulted   : {} vs {}\n",
+            "  reconfigs clean vs faulted   : {} vs {}",
             clean.total_reconfigs(),
             faulted.total_reconfigs()
         );
+        if job.replan_reconfigs > 0 {
+            println!(
+                "  replan swaps / degraded time : {} / {}",
+                job.replan_reconfigs, job.time_under_degraded_plan
+            );
+        }
+        println!();
     }
 
     println!("The photonic fabric loses its circuits with the rail and reinstalls them on");
     println!("recovery; with provisioning, everything outside the outage window stays hidden.");
+    println!("Under RecoveryPolicy::Replan the job never waits for the rail at all: it");
+    println!("re-stripes the lost circuits onto surviving rails and swaps back on RailUp.");
 }
 
 fn fault_it_wait(result: &SimulationResult, iteration: usize) -> SimDuration {

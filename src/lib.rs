@@ -70,8 +70,8 @@ pub mod prelude {
     pub use opus::{
         window_cdf, windows_on_rail, FailureModel, FleetService, Frontier, JobPlacement, JobSpec,
         LevelSummary, OpusConfig, OpusController, OpusShim, OpusSimulator, Percentiles,
-        ProvisioningLevel, ReconfigPolicy, Scenario, ScenarioEvent, ScenarioResult, ScenarioSpec,
-        SimulationResult, SweepReport, SweepSpec, VariantResult,
+        ProvisioningLevel, ReconfigPolicy, RecoveryPolicy, Scenario, ScenarioEvent, ScenarioResult,
+        ScenarioSpec, SimulationResult, SweepReport, SweepSpec, VariantResult,
     };
     pub use railsim_collectives::{Algorithm, CollectiveKind, CommGroup, GroupId, ParallelismAxis};
     pub use railsim_cost::{FabricKind, GpuBackendCostModel};

@@ -287,12 +287,15 @@ proptest! {
         seed in 0u64..1000,
         shards in 1u32..65,
         threads in 1u32..9,
+        replan in 0u32..2,
     ) {
         // Any timeline of rail-down/up pulses, OCS degradation and a late job
         // arrival, over a two-job scenario on shared rails, must serialize
         // byte-identically for every engine lane count and worker-thread count —
         // the same contract the single-job determinism suite pins, extended to the
-        // scenario driver's external event class.
+        // scenario driver's external event class. Half the cases flip the jobs to
+        // `RecoveryPolicy::Replan`, so degraded-plan swaps (and swap-backs) are in
+        // flight while the engine shards and worker threads vary.
         let build = |config: OpusConfig| {
             let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 8).build();
             let model = ModelConfig::tiny_test();
@@ -330,9 +333,12 @@ proptest! {
             }
             serde_json::to_string_pretty(&scenario.run()).expect("scenario results serialize")
         };
-        let base = OpusConfig::provisioned(SimDuration::from_millis(5))
+        let mut base = OpusConfig::provisioned(SimDuration::from_millis(5))
             .with_iterations(2)
             .with_jitter(0.05, seed);
+        if replan == 1 {
+            base.recovery_policy = RecoveryPolicy::Replan;
+        }
         let reference = build(base);
         let variant = build(base.with_event_shards(shards).with_parallel_threads(threads));
         prop_assert_eq!(
@@ -347,6 +353,7 @@ proptest! {
         two_jobs in 0u32..2,
         shards in 1u32..65,
         threads in 1u32..9,
+        replan in 0u32..2,
     ) {
         // `rail == 4` doubles as "no flap" (the cluster has 4 rails).
         let two_jobs = two_jobs == 1;
@@ -354,7 +361,9 @@ proptest! {
         // Steady-state memoization must be invisible: for any engine lane count and
         // worker-thread count, a clean single-job run (memo engages), a rail-flap
         // timeline (memo invalidates and re-arms) and a two-job scenario (memo
-        // disables itself) all serialize byte-identically to the naive path.
+        // disables itself) all serialize byte-identically to the naive path. Half
+        // the cases run under `RecoveryPolicy::Replan`, so fast-forward windows must
+        // also agree with the naive path while a degraded plan is live.
         let build = |config: OpusConfig| {
             let nodes = if two_jobs { 8 } else { 4 };
             let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, nodes).build();
@@ -379,11 +388,14 @@ proptest! {
             }
             serde_json::to_string_pretty(&scenario.run()).expect("scenario results serialize")
         };
-        let base = OpusConfig::provisioned(SimDuration::from_millis(5))
+        let mut base = OpusConfig::provisioned(SimDuration::from_millis(5))
             .with_iterations(8)
             .with_jitter(0.0, 1)
             .with_event_shards(shards)
             .with_parallel_threads(threads);
+        if replan == 1 {
+            base.recovery_policy = RecoveryPolicy::Replan;
+        }
         prop_assert_eq!(
             build(base),
             build(base.with_memoization(false)),

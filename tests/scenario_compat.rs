@@ -203,3 +203,65 @@ fn seed_pin_1k_gpus_optical_provisioned() {
         "1k-GPU optical metrics diverged from the pre-redesign seed"
     );
 }
+
+/// Runs the standard 1k-GPU rail-flap pulse (a quarter into iteration 1, half an
+/// iteration long, rail 0) under `config` and returns the serialized single-job
+/// metrics plus the iteration-1 inflation relative to the clean calibration run.
+fn rail_flap_1k(config: OpusConfig) -> (String, f64) {
+    let (cluster, dag) = scaled_setup_1k();
+    let clean = Scenario::new(cluster.clone())
+        .job(dag.clone(), config)
+        .run();
+    let it1 = &clean.jobs[0].result.iterations[1];
+    let down = it1.started_at + it1.iteration_time.mul_f64(0.25);
+    let up = down + it1.iteration_time.mul_f64(0.5);
+    let flapped = Scenario::new(cluster)
+        .job(dag, config)
+        .inject(down, ScenarioEvent::RailDown(RailId(0)))
+        .inject(up, ScenarioEvent::RailUp(RailId(0)))
+        .run();
+    let inflation = flapped.jobs[0].result.iterations[1]
+        .iteration_time
+        .as_secs_f64()
+        / it1.iteration_time.as_secs_f64();
+    let json = serde_json::to_string_pretty(&flapped.jobs[0].result).expect("results serialize");
+    (json, inflation)
+}
+
+#[test]
+#[ignore = "1k-GPU release-mode pin; run explicitly (CI does) — slow in debug builds"]
+fn seed_pin_1k_rail_flap_stall() {
+    // `RecoveryPolicy::Stall` is the default: this run must stay byte-identical to
+    // the pre-replan behavior (hash captured before the replan machinery landed).
+    let (json, inflation) = rail_flap_1k(scale_config_1k());
+    assert!(
+        inflation > 1.0,
+        "a stalled rail flap must inflate iteration 1, got {inflation:.4}x"
+    );
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        0xebc3c679b5b5d17a,
+        "1k-GPU stall rail-flap metrics diverged from the pre-replan seed"
+    );
+}
+
+#[test]
+#[ignore = "1k-GPU release-mode pin; run explicitly (CI does) — slow in debug builds"]
+fn seed_pin_1k_rail_flap_replan() {
+    // The same flap under `RecoveryPolicy::Replan`: the degraded schedule keeps the
+    // job off the dead rail, so iteration 1 must inflate strictly less than the
+    // stalled twin (which pays a full outage stall) on the identical seed.
+    let mut config = scale_config_1k();
+    config.recovery_policy = RecoveryPolicy::Replan;
+    let (json, replan_inflation) = rail_flap_1k(config);
+    let (_, stall_inflation) = rail_flap_1k(scale_config_1k());
+    assert!(
+        replan_inflation < stall_inflation,
+        "replan must beat stall on the same flap: {replan_inflation:.4}x vs {stall_inflation:.4}x"
+    );
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        0xf72d8c9012a07552,
+        "1k-GPU replan rail-flap metrics diverged from the captured pin"
+    );
+}
