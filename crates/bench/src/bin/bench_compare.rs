@@ -12,16 +12,30 @@
 //! un-gate its hot path). Benches only present in the fresh run are reported but not
 //! gated — they are additions the next baseline refresh picks up.
 //!
+//! Peak RSS is compared with the same threshold but only *warns*: the watermark is
+//! allocator- and kernel-sensitive enough that failing CI on it would be flaky, but
+//! a >25 % jump still deserves a human look, so it goes to stderr without flipping
+//! the exit code.
+//!
 //! The vendored serde has no deserializer, so the two documents are read with a
 //! minimal field scanner that understands exactly the `bench_scale` output shape:
-//! a `benches` array of objects with `"name"` and `"ns_per_iter"` fields.
+//! a `benches` array of objects with `"name"`, `"ns_per_iter"` and (optionally)
+//! `"peak_rss_mib"` fields.
 
 use railsim_bench::Report;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Extracts `name -> ns_per_iter` pairs from a `BENCH_scale.json` document.
-fn parse_benches(text: &str) -> BTreeMap<String, f64> {
+/// One bench's measurements as scanned out of a `BENCH_scale.json` document.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchEntry {
+    ns_per_iter: f64,
+    /// Absent in pre-RSS baselines and on platforms without procfs (`null` in JSON).
+    peak_rss_mib: Option<f64>,
+}
+
+/// Extracts `name -> measurements` from a `BENCH_scale.json` document.
+fn parse_benches(text: &str) -> BTreeMap<String, BenchEntry> {
     let mut out = BTreeMap::new();
     let mut current_name: Option<String> = None;
     for line in text.lines() {
@@ -29,8 +43,21 @@ fn parse_benches(text: &str) -> BTreeMap<String, f64> {
         if let Some(value) = field_value(line, "name") {
             current_name = Some(value.trim_matches('"').to_string());
         } else if let Some(value) = field_value(line, "ns_per_iter") {
-            if let (Some(name), Ok(ns)) = (current_name.take(), value.parse::<f64>()) {
-                out.insert(name, ns);
+            if let (Some(name), Ok(ns)) = (current_name.as_ref(), value.parse::<f64>()) {
+                out.insert(
+                    name.clone(),
+                    BenchEntry {
+                        ns_per_iter: ns,
+                        peak_rss_mib: None,
+                    },
+                );
+            }
+        } else if let Some(value) = field_value(line, "peak_rss_mib") {
+            // `null` (no procfs / old report) fails the parse and stays None.
+            if let (Some(name), Ok(mib)) = (current_name.as_ref(), value.parse::<f64>()) {
+                if let Some(entry) = out.get_mut(name.as_str()) {
+                    entry.peak_rss_mib = Some(mib);
+                }
             }
         }
     }
@@ -43,7 +70,7 @@ fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest.trim().trim_end_matches(','))
 }
 
-fn read_benches(path: &str) -> BTreeMap<String, f64> {
+fn read_benches(path: &str) -> BTreeMap<String, BenchEntry> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("could not read bench report {path}: {e}"));
     let benches = parse_benches(&text);
@@ -88,14 +115,16 @@ fn main() -> ExitCode {
             "Baseline ns/iter",
             "Fresh ns/iter",
             "Delta",
+            "RSS delta",
             "Verdict",
         ],
     );
     let mut regressions = Vec::new();
-    for (name, &base_ns) in &baseline {
+    let mut rss_warnings = Vec::new();
+    for (name, base) in &baseline {
         match fresh.get(name) {
-            Some(&fresh_ns) => {
-                let delta = fresh_ns / base_ns - 1.0;
+            Some(fresh_entry) => {
+                let delta = fresh_entry.ns_per_iter / base.ns_per_iter - 1.0;
                 let verdict = if delta > max_regress {
                     regressions.push(format!("{name}: {:+.1} %", delta * 100.0));
                     "REGRESSED"
@@ -104,18 +133,33 @@ fn main() -> ExitCode {
                 } else {
                     "ok"
                 };
+                let rss_delta = match (base.peak_rss_mib, fresh_entry.peak_rss_mib) {
+                    (Some(base_mib), Some(fresh_mib)) if base_mib > 0.0 => {
+                        let d = fresh_mib / base_mib - 1.0;
+                        if d > max_regress {
+                            rss_warnings.push(format!(
+                                "{name}: peak RSS {base_mib:.1} -> {fresh_mib:.1} MiB ({:+.1} %)",
+                                d * 100.0
+                            ));
+                        }
+                        format!("{:+.1} %", d * 100.0)
+                    }
+                    _ => "-".to_string(),
+                };
                 report.row(&[
                     name.clone(),
-                    format!("{base_ns:.1}"),
-                    format!("{fresh_ns:.1}"),
+                    format!("{:.1}", base.ns_per_iter),
+                    format!("{:.1}", fresh_entry.ns_per_iter),
                     format!("{:+.1} %", delta * 100.0),
+                    rss_delta,
                     verdict.to_string(),
                 ]);
             }
             None => {
                 report.row(&[
                     name.clone(),
-                    format!("{base_ns:.1}"),
+                    format!("{:.1}", base.ns_per_iter),
+                    "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
                     "missing in fresh run".to_string(),
@@ -128,12 +172,22 @@ fn main() -> ExitCode {
         report.row(&[
             name.clone(),
             "-".to_string(),
-            format!("{:.1}", fresh[name]),
+            format!("{:.1}", fresh[name].ns_per_iter),
+            "-".to_string(),
             "-".to_string(),
             "new bench (not gated)".to_string(),
         ]);
     }
     report.print();
+
+    if !rss_warnings.is_empty() {
+        eprintln!(
+            "bench_compare: WARNING: {} peak-RSS increase(s) beyond {:.0} % (not a gate):\n  {}",
+            rss_warnings.len(),
+            max_regress * 100.0,
+            rss_warnings.join("\n  ")
+        );
+    }
 
     if regressions.is_empty() {
         println!(
@@ -163,12 +217,14 @@ mod tests {
     {
       "name": "controller_alternating_requests_1k",
       "ns_per_iter": 449285.3,
-      "iters": 446
+      "iters": 446,
+      "peak_rss_mib": 57.2
     },
     {
       "name": "window_cdf_rail0",
       "ns_per_iter": 108.8,
-      "iters": 1000000
+      "iters": 1000000,
+      "peak_rss_mib": null
     }
   ]
 }"#;
@@ -177,8 +233,12 @@ mod tests {
     fn parses_bench_scale_reports() {
         let benches = parse_benches(SAMPLE);
         assert_eq!(benches.len(), 2);
-        assert!((benches["controller_alternating_requests_1k"] - 449285.3).abs() < 1e-6);
-        assert!((benches["window_cdf_rail0"] - 108.8).abs() < 1e-6);
+        let ctrl = &benches["controller_alternating_requests_1k"];
+        assert!((ctrl.ns_per_iter - 449285.3).abs() < 1e-6);
+        assert_eq!(ctrl.peak_rss_mib, Some(57.2));
+        let cdf = &benches["window_cdf_rail0"];
+        assert!((cdf.ns_per_iter - 108.8).abs() < 1e-6);
+        assert_eq!(cdf.peak_rss_mib, None);
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! bench_scale bench.out [BENCH_scale.json]
 //! ```
 //!
-//! The vendored criterion prints one `bench: <name>  <ns> ns/iter (<iters> iters)`
-//! line per benchmark; this parser collects them and writes a JSON document with the
-//! ns/iter per bench, the GPU count of the bench workload, and the git sha — the
-//! fields a perf trajectory needs to compare runs across commits.
+//! The vendored criterion prints one
+//! `bench: <name>  <ns> ns/iter (<iters> iters) peak_rss <mib> MiB` line per
+//! benchmark (the peak-RSS pair is best-effort and absent off Linux); this parser
+//! collects them and writes a JSON document with the ns/iter and peak RSS per bench,
+//! the GPU count of the bench workload, and the git sha — the fields a perf
+//! trajectory needs to compare runs across commits, time and memory both.
 
 use railsim_bench::paper_cluster;
 use serde::Serialize;
@@ -25,6 +27,9 @@ struct BenchResult {
     name: String,
     ns_per_iter: f64,
     iters: u64,
+    /// Per-bench peak resident set (`VmHWM` reset before the bench ran), when the
+    /// platform reported one.
+    peak_rss_mib: Option<f64>,
 }
 
 /// The `BENCH_scale.json` document.
@@ -60,10 +65,17 @@ fn parse_bench_lines(text: &str) -> Vec<BenchResult> {
             .next()
             .and_then(|t| t.trim_start_matches('(').parse::<u64>().ok())
             .unwrap_or(0);
+        // Skip the closing `iters)` token; after it comes an optional
+        // `peak_rss <mib> MiB` pair.
+        let peak_rss_mib = match (tokens.next(), tokens.next(), tokens.next()) {
+            (Some("iters)"), Some("peak_rss"), Some(mib)) => mib.parse::<f64>().ok(),
+            _ => None,
+        };
         out.push(BenchResult {
             name: name.to_string(),
             ns_per_iter,
             iters,
+            peak_rss_mib,
         });
     }
     out
@@ -123,7 +135,7 @@ mod tests {
     #[test]
     fn parses_vendored_criterion_lines() {
         let text = "group: iteration_simulation\n\
-                    bench: electrical_baseline                               123456.7 ns/iter (81 iters)\n\
+                    bench: electrical_baseline                               123456.7 ns/iter (81 iters) peak_rss 101.5 MiB\n\
                     noise line\n\
                     bench: controller_alternating_requests_1k                  999.0 ns/iter (200000 iters)\n";
         let parsed = parse_bench_lines(text);
@@ -131,7 +143,9 @@ mod tests {
         assert_eq!(parsed[0].name, "electrical_baseline");
         assert!((parsed[0].ns_per_iter - 123456.7).abs() < 1e-6);
         assert_eq!(parsed[0].iters, 81);
+        assert_eq!(parsed[0].peak_rss_mib, Some(101.5));
         assert_eq!(parsed[1].name, "controller_alternating_requests_1k");
+        assert_eq!(parsed[1].peak_rss_mib, None);
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn run_variant(name: &str, parallel: ParallelismConfig, rows: &mut Vec<PhaseRow>
     let mut groups: Vec<_> = it
         .comm_records
         .iter()
-        .filter(|r| r.rails.contains(&RailId(0)))
+        .filter(|r| r.rails.contains(RailId(0)))
         .filter_map(|r| r.group)
         .collect();
     groups.sort();

@@ -5,8 +5,9 @@
 //! policy.
 //!
 //! ```text
-//! table3_scalability [--gpus 1024,4096,10240,102400] [--iterations 2]
-//!                    [--parallel-threads N] [--policy electrical|optical|replan|both]
+//! table3_scalability [--gpus 1024,4096,10240,102400,1024000] [--iterations 2]
+//!                    [--parallel-threads N] [--commit-threads N]
+//!                    [--policy electrical|optical|replan|both]
 //!                    [--scenario clean|rail-flap|two-job] [--no-memo] [--skip-sim]
 //! ```
 //!
@@ -17,8 +18,12 @@
 //! `rail-flap` / `two-job` scenario points under `timeout 120`. The full paper regime
 //! is `--gpus 1024,4096,10240`; `--gpus 102400` exercises the 100k-GPU ceiling
 //! (interned DAG + dense controller state + port-indexed OCS matching; see
-//! EXPERIMENTS.md for the memory budget). `--parallel-threads N` steps each head
-//! time-slice on N scoped worker threads — results are byte-identical for any N.
+//! EXPERIMENTS.md for the memory budget); `--gpus 1024000` is the million-GPU
+//! regime — a documented manual run (cold-arena compaction keeps it inside the
+//! 12 GiB budget; see EXPERIMENTS.md). `--parallel-threads N` steps each head
+//! time-slice on N scoped worker threads, and `--commit-threads N` commits each
+//! drained batch's per-rail traffic on up to N rail-sharded workers — results are
+//! byte-identical for any N on either knob.
 //! `--policy` restricts a point to one network policy (the default runs the
 //! electrical baseline and the provisioned optical policy back to back); `replan`
 //! runs the provisioned optical policy with `RecoveryPolicy::Replan`, so a
@@ -61,6 +66,8 @@ struct ScaleRun {
     num_jobs: u32,
     event_shards: usize,
     parallel_threads: u32,
+    /// Rail-sharded commit-phase worker count (1 = sequential commits).
+    commit_threads: u32,
     policy: &'static str,
     dag_tasks: usize,
     iterations: u32,
@@ -122,6 +129,7 @@ struct Args {
     gpus: Vec<u32>,
     iterations: u32,
     parallel_threads: u32,
+    commit_threads: u32,
     policy: PolicyFilter,
     scenario: ScenarioKind,
     memoize: bool,
@@ -133,6 +141,7 @@ fn parse_args() -> Args {
         gpus: vec![1024u32],
         iterations: 2,
         parallel_threads: 1,
+        commit_threads: 1,
         policy: PolicyFilter::Both,
         scenario: ScenarioKind::Clean,
         memoize: true,
@@ -165,6 +174,17 @@ fn parse_args() -> Args {
                 assert!(
                     parsed.parallel_threads > 0,
                     "--parallel-threads must be positive"
+                );
+            }
+            "--commit-threads" => {
+                parsed.commit_threads = args
+                    .next()
+                    .expect("--commit-threads needs a value")
+                    .parse()
+                    .expect("--commit-threads must be an integer");
+                assert!(
+                    parsed.commit_threads > 0,
+                    "--commit-threads must be positive"
                 );
             }
             "--policy" => {
@@ -238,6 +258,7 @@ fn rows_of(
     scenario: &'static str,
     event_shards: usize,
     parallel_threads: u32,
+    commit_threads: u32,
     policy: &'static str,
     dag_tasks: usize,
     iterations: u32,
@@ -256,6 +277,7 @@ fn rows_of(
             num_jobs: result.jobs.len() as u32,
             event_shards,
             parallel_threads,
+            commit_threads,
             policy,
             dag_tasks,
             iterations,
@@ -282,12 +304,15 @@ fn run_scale_point(
     num_gpus: u32,
     iterations: u32,
     parallel_threads: u32,
+    commit_threads: u32,
     policy: PolicyFilter,
     scenario: ScenarioKind,
     memoize: bool,
 ) -> Vec<ScaleRun> {
-    // Reset the kernel's peak-RSS watermark so this point's reading covers only its
-    // own DAG + simulator state (best-effort; cumulative where unsupported).
+    // Return the previous point's freed memory to the OS, then reset the kernel's
+    // peak-RSS watermark so this point's reading covers only its own DAG +
+    // simulator state (best-effort; cumulative where unsupported).
+    railsim_workload::release_free_heap();
     mem::reset_peak_rss();
     let cluster = scaled_cluster(num_gpus);
     let num_rails = cluster.num_rails();
@@ -314,6 +339,9 @@ fn run_scale_point(
     let mut provisioned = scale_run_config(iterations);
     if parallel_threads > 1 {
         provisioned.parallel_threads = Some(parallel_threads);
+    }
+    if commit_threads > 1 {
+        provisioned.commit_threads = Some(commit_threads);
     }
     if !memoize {
         provisioned.memoize_steady_state = false;
@@ -364,6 +392,7 @@ fn run_scale_point(
                     "clean",
                     num_rails as usize,
                     parallel_threads,
+                    commit_threads,
                     policy_name,
                     dag_tasks,
                     iterations,
@@ -397,6 +426,7 @@ fn run_scale_point(
                     "clean",
                     num_rails as usize,
                     parallel_threads,
+                    commit_threads,
                     policy_name,
                     dag_tasks,
                     iterations,
@@ -409,6 +439,7 @@ fn run_scale_point(
                     "rail-flap",
                     num_rails as usize,
                     parallel_threads,
+                    commit_threads,
                     policy_name,
                     dag_tasks,
                     iterations,
@@ -435,6 +466,7 @@ fn run_scale_point(
                     "two-job",
                     num_rails as usize,
                     parallel_threads,
+                    commit_threads,
                     policy_name,
                     dag_tasks,
                     iterations,
@@ -469,7 +501,7 @@ fn main() {
             "Job",
             "Policy",
             "DAG tasks",
-            "Threads",
+            "Thr p/c",
             "Iter time (s)",
             "Reconfigs",
             "Circ wait (s)",
@@ -485,6 +517,7 @@ fn main() {
             n,
             args.iterations,
             args.parallel_threads,
+            args.commit_threads,
             args.policy,
             args.scenario,
             args.memoize,
@@ -495,7 +528,7 @@ fn main() {
                 run.job.to_string(),
                 run.policy.to_string(),
                 run.dag_tasks.to_string(),
-                run.parallel_threads.to_string(),
+                format!("{}/{}", run.parallel_threads, run.commit_threads),
                 format!("{:.3}", run.steady_iteration_time_s),
                 run.total_reconfigs.to_string(),
                 format!("{:.3}", run.circuit_wait_s),
@@ -509,7 +542,7 @@ fn main() {
         }
     }
     report.note("DGX H200 nodes, TP=8 / PP=8 / FSDP over the rest, 8 micro-batches, 1F1B");
-    report.note("full paper regime: --gpus 1024,4096,10240; 100k ceiling: --gpus 102400 (see EXPERIMENTS.md)");
+    report.note("full paper regime: --gpus 1024,4096,10240; 100k ceiling: --gpus 102400; 1M regime: --gpus 1024000 --policy optical --commit-threads 4 (manual; see EXPERIMENTS.md)");
     report.note("scenarios: clean | rail-flap (RailDown pulse in iteration 1, clean reference emitted too) | two-job (two half-size jobs on shared rails)");
     let policies_note = match args.policy {
         PolicyFilter::Electrical => "the electrical run",

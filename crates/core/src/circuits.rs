@@ -15,6 +15,7 @@
 //! C1/C3 discussion notes exactly this degradation.
 
 use railsim_collectives::{ring::ring_neighbor_pairs, CommGroup, RailStriper};
+use railsim_topology::RailSet;
 use railsim_topology::{
     Circuit, CircuitConfig, Cluster, CommPath, GpuId, PathKind, PortId, RailId,
 };
@@ -46,6 +47,12 @@ impl GroupCircuits {
 
     /// The rails this group needs.
     pub fn rails(&self) -> Vec<RailId> {
+        self.per_rail.keys().copied().collect()
+    }
+
+    /// The rails this group needs, as a compact set (no allocation — this is
+    /// the per-record hot path).
+    pub fn rail_set(&self) -> RailSet {
         self.per_rail.keys().copied().collect()
     }
 }

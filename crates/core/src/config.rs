@@ -139,6 +139,18 @@ pub struct OpusConfig {
     /// effects in global `(time, seq)` order — so, like `event_shards`, the thread
     /// count never changes simulation results, only wall-clock time.
     pub parallel_threads: Option<u32>,
+    /// Number of worker threads for the rail-sharded *commit* phase. `None` or
+    /// `Some(1)` (the default) commits every event sequentially on the coordinator.
+    /// With more threads, runs of commits whose effects are provably confined to a
+    /// single rail (optical scale-out collectives riding one rail's circuits) are
+    /// executed on `std::thread::scope` workers — one per rail, each owning that
+    /// rail's OCS, occupancy segment, and lifetime counter — while everything
+    /// cross-rail or global (compute tasks, multi-rail collectives, injections,
+    /// fast-forwards, counters, logs, event scheduling) is applied by the coordinator
+    /// in the global `(time, seq)` order. Like `parallel_threads`, the knob never
+    /// changes simulation results — the determinism suites pin byte-identical output
+    /// for every commit-thread count — only wall-clock time.
+    pub commit_threads: Option<u32>,
     /// Steady-state iteration memoization (default: enabled). When two consecutive
     /// iterations of a job commit byte-identical timelines up to a constant time
     /// offset — same communication records, same circuit waits, no reconfigurations —
@@ -204,6 +216,7 @@ impl OpusConfig {
             host_offload: None,
             event_shards: None,
             parallel_threads: None,
+            commit_threads: None,
             memoize_steady_state: true,
             recovery_policy: RecoveryPolicy::Stall,
         }
@@ -346,6 +359,14 @@ mod tests {
     #[should_panic(expected = "at least one event shard")]
     fn zero_event_shards_rejected() {
         let _ = OpusConfig::electrical().with_event_shards(0);
+    }
+
+    #[test]
+    fn commit_threads_default_to_sequential() {
+        let mut cfg = OpusConfig::provisioned(SimDuration::from_millis(25));
+        assert_eq!(cfg.commit_threads, None, "default commits sequentially");
+        cfg.commit_threads = Some(8);
+        assert_eq!(cfg.commit_threads, Some(8));
     }
 
     #[test]

@@ -16,20 +16,26 @@ use crate::circuits::GroupCircuits;
 use crate::metrics::ReconfigEvent;
 use railsim_collectives::GroupId;
 use railsim_sim::SimTime;
-use railsim_topology::{CircuitConfig, OpticalRailFabric, RailId};
+use railsim_topology::{CircuitConfig, Ocs, OpticalRailFabric, RailId};
 
 /// The Opus controller: rail OCSes plus occupancy tracking and the reconfiguration log.
 ///
-/// All per-port and per-rail bookkeeping is *dense* — flat `Vec`s pre-sized from the
-/// fabric's geometry and indexed by [`PortId::dense_index`](railsim_topology::PortId::dense_index)
-/// / rail index. The occupancy map is touched on every scale-out communication event
-/// (the profiled hot path of the 10k-GPU runs), so it must not hash.
+/// All per-port and per-rail bookkeeping is *dense* — `Vec`s pre-sized from the
+/// fabric's geometry and indexed by
+/// [`PortId::rail_dense_index`](railsim_topology::PortId::rail_dense_index) / rail
+/// index. The occupancy map is touched on every scale-out communication event (the
+/// profiled hot path of the 10k-GPU runs), so it must not hash — and it is segmented
+/// *by rail* so the sharded commit phase can split the controller into independent
+/// [`RailLane`]s without any cross-rail aliasing.
 #[derive(Debug, Clone)]
 pub struct OpusController {
     fabric: OpticalRailFabric,
-    /// Until when each port is carrying traffic (conflict avoidance), indexed by the
-    /// port's dense index. `SimTime::ZERO` means "never been busy".
-    port_busy: Vec<SimTime>,
+    /// Until when each port is carrying traffic (conflict avoidance): one dense table
+    /// per rail of `num_nodes * ports_per_gpu` entries, indexed by
+    /// [`PortId::rail_dense_index`](railsim_topology::PortId::rail_dense_index).
+    /// `SimTime::ZERO` means "never been busy".
+    port_busy: Vec<Vec<SimTime>>,
+    num_rails: u32,
     ports_per_gpu: u8,
     events: Vec<ReconfigEvent>,
     requests: u64,
@@ -50,9 +56,11 @@ impl OpusController {
         let dense_ports = fabric.dense_port_count();
         let num_rails = fabric.num_rails();
         let ports_per_gpu = fabric.ports_per_gpu();
+        let per_rail_ports = dense_ports / num_rails.max(1);
         OpusController {
             fabric,
-            port_busy: vec![SimTime::ZERO; dense_ports],
+            port_busy: vec![vec![SimTime::ZERO; per_rail_ports]; num_rails],
+            num_rails: num_rails as u32,
             ports_per_gpu,
             events: Vec::new(),
             requests: 0,
@@ -93,7 +101,8 @@ impl OpusController {
         let mut free = SimTime::ZERO;
         for config in circuits.per_rail.values() {
             for port in config.ports() {
-                free = free.max(self.port_busy[port.dense_index(self.ports_per_gpu)]);
+                let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+                free = free.max(self.port_busy[rail][idx]);
             }
         }
         free
@@ -212,7 +221,8 @@ impl OpusController {
                 // Conflict avoidance: wait for ongoing traffic on the affected ports.
                 let mut free = requested_at;
                 for port in config.ports() {
-                    free = free.max(self.port_busy[port.dense_index(self.ports_per_gpu)]);
+                    let (r, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+                    free = free.max(self.port_busy[r][idx]);
                 }
                 free
             };
@@ -285,7 +295,8 @@ impl OpusController {
     pub fn occupy(&mut self, circuits: &GroupCircuits, until: SimTime) {
         for config in circuits.per_rail.values() {
             for port in config.ports() {
-                let slot = &mut self.port_busy[port.dense_index(self.ports_per_gpu)];
+                let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+                let slot = &mut self.port_busy[rail][idx];
                 *slot = (*slot).max(until);
             }
         }
@@ -313,6 +324,120 @@ impl OpusController {
             .get(rail.index())
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Splits the controller's rail-partitioned mutable state into one exclusive
+    /// [`RailLane`] per rail. The lanes borrow disjoint pieces (each rail's OCS, its
+    /// occupancy segment, its lifetime counter), so they can be moved onto separate
+    /// worker threads for a rail-sharded commit phase. Global bookkeeping — the
+    /// request counters and the event log — is *not* split; the coordinator applies
+    /// those effects in the global event order after the lanes join.
+    pub fn rail_lanes(&mut self) -> Vec<RailLane<'_>> {
+        let num_rails = self.num_rails;
+        let ports_per_gpu = self.ports_per_gpu;
+        self.fabric
+            .ocses_mut()
+            .iter_mut()
+            .zip(self.port_busy.iter_mut())
+            .zip(self.lifetime_by_rail.iter_mut())
+            .enumerate()
+            .map(|(i, ((ocs, port_busy), lifetime))| RailLane {
+                rail: RailId(i as u32),
+                ocs,
+                port_busy,
+                lifetime,
+                num_rails,
+                ports_per_gpu,
+            })
+            .collect()
+    }
+}
+
+/// An exclusive handle to one rail's share of the controller's mutable state: the
+/// rail's OCS, its segment of the occupancy table, and its lifetime reconfiguration
+/// counter. [`OpusController::rail_lanes`] splits the controller into one lane per
+/// rail; because rails never share switches or ports, the lanes can be driven on
+/// separate worker threads and reproduce exactly the per-rail state transitions the
+/// sequential [`OpusController::request`] / [`OpusController::occupy`] path performs —
+/// as long as each rail's requests are replayed in their sequential order. Cross-rail
+/// bookkeeping (request counters, the reconfiguration log) stays on the controller
+/// and is applied by the coordinator in the global event order.
+#[derive(Debug)]
+pub struct RailLane<'a> {
+    rail: RailId,
+    ocs: &'a mut Ocs,
+    port_busy: &'a mut Vec<SimTime>,
+    lifetime: &'a mut u64,
+    num_rails: u32,
+    ports_per_gpu: u8,
+}
+
+impl RailLane<'_> {
+    /// The rail this lane controls.
+    pub fn rail(&self) -> RailId {
+        self.rail
+    }
+
+    /// The time at which `config` is ready on this rail, or `None` when any of its
+    /// circuits is missing. The single-rail analogue of
+    /// [`OpusController::installed_ready_time`].
+    pub fn installed_ready(&self, config: &CircuitConfig) -> Option<SimTime> {
+        self.ocs.installed_ready(config)
+    }
+
+    /// True when every circuit of `config` is already installed (possibly settling).
+    pub fn already_installed(&self, config: &CircuitConfig) -> bool {
+        self.ocs.already_installed(config)
+    }
+
+    /// The earliest time at or after which every port of `config` is free of traffic.
+    /// The single-rail analogue of [`OpusController::ports_free_at`].
+    pub fn ports_free_at(&self, config: &CircuitConfig) -> SimTime {
+        let mut free = SimTime::ZERO;
+        for port in config.ports() {
+            let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+            debug_assert_eq!(
+                rail,
+                self.rail.index(),
+                "port {port} is not on {}",
+                self.rail
+            );
+            free = free.max(self.port_busy[idx]);
+        }
+        free
+    }
+
+    /// Installs `config` on the rail's OCS starting at `start`, exactly as the
+    /// sequential [`OpusController::request`] install loop would (a no-op install
+    /// leaves the circuit epoch untouched). Returns when the circuits are ready.
+    pub fn install(&mut self, config: &CircuitConfig, start: SimTime) -> SimTime {
+        let rail = self.rail;
+        self.ocs
+            .install(config, start)
+            .unwrap_or_else(|e| panic!("circuit install failed on {rail}: {e}"))
+    }
+
+    /// Bumps the rail's lifetime reconfiguration counter. The per-event log entry is
+    /// emitted by the coordinator, which owns the (global) event log.
+    pub fn note_reconfig(&mut self) {
+        *self.lifetime += 1;
+    }
+
+    /// Records traffic on `config`'s ports until `until`, blocking conflicting
+    /// reconfigurations before then. The single-rail analogue of
+    /// [`OpusController::occupy`].
+    pub fn occupy(&mut self, config: &CircuitConfig, until: SimTime) {
+        for port in config.ports() {
+            let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+            debug_assert_eq!(
+                rail,
+                self.rail.index(),
+                "port {port} is not on {}",
+                self.rail
+            );
+            let slot = &mut self.port_busy[idx];
+            *slot = (*slot).max(until);
+        }
     }
 }
 
@@ -484,6 +609,56 @@ mod tests {
         let epoch = ctrl.circuit_epoch();
         assert_eq!(ctrl.withdraw(&ca), 0);
         assert_eq!(ctrl.circuit_epoch(), epoch);
+    }
+
+    #[test]
+    fn rail_lanes_reproduce_the_sequential_request_path() {
+        // Drive the same single-rail request through `request()` on one controller and
+        // through a `RailLane` on another; every observable (ready time, occupancy,
+        // epoch, lifetime counters, no-op detection) must match.
+        let (cluster, mut seq, planner) = setup();
+        let mut sharded = seq.clone();
+        let group = dp_group(1, &[0, 4]);
+        let circuits = planner.plan(&cluster, &group);
+        let config = circuits.per_rail.values().next().unwrap();
+        let t0 = SimTime::from_millis(100);
+
+        let seq_ready = seq.request(group.id, &circuits, t0);
+        seq.occupy(&circuits, SimTime::from_millis(400));
+
+        {
+            let mut lanes = sharded.rail_lanes();
+            let lane = &mut lanes[0];
+            assert_eq!(lane.rail(), RailId(0));
+            assert_eq!(lane.installed_ready(config), None);
+            assert!(!lane.already_installed(config));
+            let start = lane.ports_free_at(config).max(t0);
+            let ready = lane.install(config, start);
+            lane.note_reconfig();
+            assert_eq!(ready, seq_ready);
+            lane.occupy(config, SimTime::from_millis(400));
+            assert_eq!(lane.installed_ready(config), Some(ready));
+            assert!(lane.already_installed(config));
+        }
+        assert_eq!(sharded.circuit_epoch(), seq.circuit_epoch());
+        assert_eq!(sharded.lifetime_reconfigs(), seq.lifetime_reconfigs());
+        assert_eq!(
+            sharded.ports_free_at(&circuits),
+            seq.ports_free_at(&circuits)
+        );
+        assert_eq!(
+            sharded.installed_ready_time(&circuits),
+            seq.installed_ready_time(&circuits)
+        );
+
+        // A later no-op request on the sequential side equals the lane's fast path.
+        let later = SimTime::from_millis(600);
+        let seq_again = seq.request(group.id, &circuits, later);
+        let lane_again = {
+            let lanes = sharded.rail_lanes();
+            lanes[0].installed_ready(config).unwrap().max(later)
+        };
+        assert_eq!(lane_again, seq_again);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use railsim_collectives::{CollectiveKind, GroupId, ParallelismAxis};
 use railsim_sim::{Bytes, SimDuration, SimTime};
-use railsim_topology::RailId;
+use railsim_topology::{RailId, RailSet};
 use railsim_workload::{LabelId, TaskId};
 use serde::{Deserialize, Serialize};
 
@@ -24,8 +24,10 @@ pub struct CommRecord {
     pub bytes: Bytes,
     /// True when the operation used the scale-out (rail) network.
     pub scaleout: bool,
-    /// The rails the operation used (empty for scale-up traffic).
-    pub rails: Vec<RailId>,
+    /// The rails the operation used (empty for scale-up traffic). A compact
+    /// bitmask set — it iterates ascending and serializes exactly like the
+    /// sorted `Vec<RailId>` it replaced.
+    pub rails: RailSet,
     /// When all participating ranks had issued the operation (the paper's
     /// `T_comm_start` before any circuit wait).
     pub issued_at: SimTime,
@@ -169,7 +171,7 @@ impl IterationResult {
     pub fn records_on_rail(&self, rail: RailId) -> Vec<&CommRecord> {
         self.comm_records
             .iter()
-            .filter(|r| r.rails.contains(&rail))
+            .filter(|r| r.rails.contains(rail))
             .collect()
     }
 }
@@ -219,7 +221,7 @@ mod tests {
             group: Some(GroupId(0)),
             bytes: Bytes::from_mb(100),
             scaleout: true,
-            rails: vec![RailId(0)],
+            rails: RailSet::from_iter([RailId(0)]),
             issued_at: SimTime::from_millis(start_ms - wait_ms.min(start_ms)),
             start: SimTime::from_millis(start_ms),
             end: SimTime::from_millis(end_ms),

@@ -75,7 +75,7 @@
 use crate::circuits::{CircuitPlanner, GroupCircuits};
 use crate::config::OpusConfig;
 use crate::config::{ReconfigPolicy, RecoveryPolicy};
-use crate::controller::OpusController;
+use crate::controller::{OpusController, RailLane};
 use crate::group_table::GroupTable;
 use crate::metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
 use crate::shim::OpusShim;
@@ -83,11 +83,12 @@ use railsim_collectives::{
     cost::{collective_time, CostParams},
     degraded_params, CollectiveKind, CommGroup, GroupId, ParallelismAxis,
 };
-use railsim_sim::{ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
+use railsim_sim::{scoped_run, ShardId, ShardedEngine, SimDuration, SimRng, SimTime};
 use railsim_topology::{
     Cluster, ElectricalRailFabric, GpuId, OpticalRailFabric, RailConnectivity, RailHealth, RailId,
+    RailSet,
 };
-use railsim_workload::{JobId, LabelId, RankSet, TaskId, TaskKind, TrainingDag};
+use railsim_workload::{JobId, LabelId, RankSet, TaskId, TaskKind, TaskTable, TrainingDag};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -518,10 +519,18 @@ struct MemoState {
 struct JobContext {
     job: JobId,
     gpu_offset: u32,
-    /// The job's (possibly rebased) DAG. Shared immutably: an unrebased job holds an
-    /// `Arc` clone of the caller's template, so fleets of scenarios built from one
-    /// template pay construction once.
-    dag: Arc<TrainingDag>,
+    /// The condensed task columns the run actually reads per event: kind, label and
+    /// participants, indexed by [`TaskId`]. The full `TrainingDag` — dependency
+    /// edges, comm groups, parallelism config — is consumed at build time: edges
+    /// become the CSR `dependents` table plus `dep_counts`, groups become the
+    /// `group_table`/`circuit_pool`, and the row-major task arena (three heap words
+    /// per task for `deps` alone) is dropped. At the million-GPU regime this is the
+    /// difference between the run fitting its memory budget and carrying ~90M dead
+    /// `Vec<TaskId>` headers to the finish line.
+    tasks: TaskTable,
+    /// Per-task dependency indegree — the template `remaining` resets from at every
+    /// iteration start (tasks with count 0 are the iteration's roots).
+    dep_counts: Vec<u32>,
     config: OpusConfig,
     group_table: GroupTable,
     /// Deduplicated circuit demands; see [`CircuitSlot`].
@@ -540,7 +549,7 @@ struct JobContext {
     // ---- live per-iteration state ----
     iteration: u32,
     iter_start: SimTime,
-    remaining: Vec<usize>,
+    remaining: Vec<u32>,
     finish: Vec<SimTime>,
     comm_records: Vec<CommRecord>,
     reconfig_events: Vec<ReconfigEvent>,
@@ -680,19 +689,34 @@ impl Fleet {
         job: JobId,
         label: LabelId,
     ) -> SimTime {
-        let mut gated = now;
-        for &rail in circuits.per_rail.keys() {
-            if let Some(avail) = self.health.available_from(rail) {
-                assert!(
-                    avail != SimTime::MAX,
-                    "{job} task {label} needs {rail}, which failed with no scheduled \
-                     recovery — the scenario timeline is unsatisfiable"
-                );
-                gated = gated.max(avail);
-            }
-        }
-        gated
+        outage_gate(&self.health, circuits, now, job, label)
     }
+}
+
+/// The outage gate as a free function, so the rail-sharded commit workers — which
+/// hold only a shared `RailHealth` borrow, not the whole [`Fleet`] — evaluate the
+/// exact same check (and panic with the exact same diagnostic) as the sequential
+/// path. Health only changes at injection commits, which are barriers for the
+/// sharded phase, so the read is race-free.
+fn outage_gate(
+    health: &RailHealth,
+    circuits: &GroupCircuits,
+    now: SimTime,
+    job: JobId,
+    label: LabelId,
+) -> SimTime {
+    let mut gated = now;
+    for &rail in circuits.per_rail.keys() {
+        if let Some(avail) = health.available_from(rail) {
+            assert!(
+                avail != SimTime::MAX,
+                "{job} task {label} needs {rail}, which failed with no scheduled \
+                 recovery — the scenario timeline is unsatisfiable"
+            );
+            gated = gated.max(avail);
+        }
+    }
+    gated
 }
 
 /// The built, runnable scenario. `pub(crate)` so the single-job
@@ -704,7 +728,51 @@ pub(crate) struct ScenarioSim {
     injections: Vec<Injection>,
     num_shards: usize,
     threads: usize,
+    /// Worker threads for the rail-sharded commit phase (1 = sequential commits).
+    commit_threads: usize,
     makespan: SimTime,
+}
+
+/// Below this many rail-classed commits in a batch segment, the sharded commit path
+/// falls back to committing sequentially: spawning scoped workers costs more than the
+/// per-rail work itself. Mirrors the prep path's `PARALLEL_SLICE_MIN` reasoning.
+const COMMIT_SHARD_MIN: usize = 64;
+
+/// How one popped event's commit interacts with shared state, deciding where the
+/// rail-sharded commit phase may run it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommitClass {
+    /// Touches no rail-partitioned controller state (compute tasks, `Done`
+    /// bookkeeping, electrical / offloaded / scale-up-only communications): commits
+    /// on the coordinator, safely interleaved with rail workers' *outputs* because it
+    /// never reads or writes any rail lane.
+    Seq,
+    /// An optical scale-out communication whose circuits ride exactly one rail: its
+    /// controller effects are confined to that rail's lane and can run on the rail's
+    /// worker, with the global effects (counters, records, scheduling) merged on the
+    /// coordinator in `(time, seq)` order.
+    Rail(usize),
+    /// Mutates cross-rail or global state (injections, fast-forwards, multi-rail
+    /// communications): flushes the current segment and commits alone on the
+    /// coordinator, exactly like the sequential path.
+    Barrier,
+}
+
+/// The pure per-rail outcome of one rail-classed commit, computed on a rail worker
+/// and merged by the coordinator. Everything in here is a *value*: the worker mutates
+/// only its own [`RailLane`]; counters, logs, records and event scheduling happen at
+/// merge time in the global event order.
+struct RailOutcome {
+    /// The task's end time (`Done` is scheduled here at merge time).
+    end: SimTime,
+    /// The request was a no-op (circuits already installed): the coordinator bumps
+    /// the no-op counter alongside the request counter.
+    noop: bool,
+    /// The reconfiguration this commit performed, if any, exactly as the sequential
+    /// controller would have logged it.
+    reconfig: Option<ReconfigEvent>,
+    /// The communication record, byte-identical to the sequential path's.
+    record: CommRecord,
 }
 
 impl ScenarioSim {
@@ -716,6 +784,10 @@ impl ScenarioSim {
             injections,
         } = spec;
         assert!(!jobs.is_empty(), "a scenario needs at least one job");
+        // The DAG builder that ran before us freed its scratch into the
+        // allocator's bins; release it so setup's own tables (circuit pool,
+        // dependents CSR, task columns) don't stack on top of dead pages.
+        railsim_workload::release_free_heap();
         assert!(
             jobs.len() <= u16::MAX as usize,
             "a scenario carries the job index in a u16 event field; {} jobs exceed it",
@@ -858,6 +930,12 @@ impl ScenarioSim {
             .max()
             .unwrap_or(1)
             .max(1) as usize;
+        let commit_threads = contexts
+            .iter()
+            .map(|c| c.config.commit_threads.unwrap_or(1))
+            .max()
+            .unwrap_or(1)
+            .max(1) as usize;
 
         let backend = match optical_latency {
             Some(latency) => SharedBackend::Optical {
@@ -898,6 +976,10 @@ impl ScenarioSim {
             injections_applied: 0,
         };
 
+        // Setup is the RSS high-water mark of a run: the builder's churn is all
+        // freed by now, but the allocator keeps it resident unless asked.
+        railsim_workload::release_free_heap();
+
         ScenarioSim {
             cluster,
             jobs: contexts,
@@ -905,6 +987,7 @@ impl ScenarioSim {
             injections: timeline,
             num_shards,
             threads,
+            commit_threads,
             makespan: SimTime::ZERO,
         }
     }
@@ -922,14 +1005,24 @@ impl ScenarioSim {
         let planner = CircuitPlanner::for_cluster(cluster);
         let (circuit_pool, task_circuit_slot) =
             Self::plan_task_circuits(cluster, &dag, &group_table, &planner);
-        let (dependents_off, dependents) = Self::build_dependents(&dag);
+        let (dependents_off, dependents, dep_counts) = Self::build_dependents(&dag);
         let task_shard = Self::assign_task_shards(cluster, &dag, &circuit_pool, &task_circuit_slot);
         let rng = SimRng::new(config.seed);
         let n = dag.tasks.len();
+        // Condense last: every structural consumer above has run, so the DAG's
+        // dependency edges and groups are no longer needed. A uniquely-owned DAG is
+        // drained chunk-by-chunk (freeing ~90M `deps` vectors at the 1M-GPU scale
+        // *before* the run allocates its live state); a template still shared with
+        // other scenario variants is condensed by column clone and left alive.
+        let tasks = match Arc::try_unwrap(dag) {
+            Ok(owned) => TaskTable::from_owned(owned),
+            Err(shared) => TaskTable::from_shared(&shared),
+        };
         JobContext {
             job,
             gpu_offset,
-            dag,
+            tasks,
+            dep_counts,
             config,
             group_table,
             circuit_pool,
@@ -1003,11 +1096,16 @@ impl ScenarioSim {
             .collect()
     }
 
-    /// Builds the reverse dependency edges in CSR layout (`(offsets, edges)`).
-    fn build_dependents(dag: &TrainingDag) -> (Vec<u32>, Vec<u32>) {
+    /// Builds the reverse dependency edges in CSR layout plus the per-task indegree
+    /// (`(offsets, edges, dep_counts)`). The indegrees are the only thing the run
+    /// ever needs the forward `deps` edges for, so capturing them here lets the task
+    /// arena be dropped right after this pass.
+    fn build_dependents(dag: &TrainingDag) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
         let n = dag.tasks.len();
         let mut counts = vec![0u32; n + 1];
+        let mut dep_counts = vec![0u32; n];
         for task in &dag.tasks {
+            dep_counts[task.id.0 as usize] = task.deps.len() as u32;
             for dep in &task.deps {
                 counts[dep.0 as usize + 1] += 1;
             }
@@ -1025,7 +1123,7 @@ impl ScenarioSim {
                 *c += 1;
             }
         }
-        (offsets, edges)
+        (offsets, edges, dep_counts)
     }
 
     /// Plans the circuit demand of every communication task, deduplicated into one
@@ -1153,20 +1251,26 @@ impl ScenarioSim {
             }
         }
 
-        if self.threads > 1 {
+        if self.threads > 1 || self.commit_threads > 1 {
             // Parallel stepping: drain the head time-slice from every lane, evaluate
             // the pure per-event work on scoped worker threads, then commit the
-            // stateful part sequentially in global `(time, seq)` order. The commit
-            // order equals the single-queue pop order, so results are byte-identical
-            // to the sequential path for any thread count.
+            // stateful part in global `(time, seq)` order — sequentially, or (with
+            // `commit_threads > 1`) with runs of single-rail commits executed on
+            // per-rail workers and merged back in the same order. Either way the
+            // commit order equals the single-queue pop order, so results are
+            // byte-identical to the sequential path for any thread count.
             loop {
                 let batch = {
                     let sim = &*self;
                     engine.pop_batch_parallel(self.threads, |_, _, ev| sim.prep_event(*ev))
                 };
                 let Some(batch) = batch else { break };
-                for (now, _, event, planned) in batch {
-                    self.commit_event(&mut engine, now, event, planned);
+                if self.commit_threads > 1 {
+                    self.commit_batch_sharded(&mut engine, batch);
+                } else {
+                    for (now, _, event, planned) in batch {
+                        self.commit_event(&mut engine, now, event, planned);
+                    }
                 }
             }
         } else {
@@ -1267,14 +1371,13 @@ impl ScenarioSim {
         ctx.iter_start = at;
         ctx.iter_degraded = ctx.degraded_slots > 0;
         ctx.remaining.clear();
-        ctx.remaining
-            .extend(ctx.dag.tasks.iter().map(|t| t.deps.len()));
+        ctx.remaining.extend_from_slice(&ctx.dep_counts);
         ctx.finish.fill(SimTime::ZERO);
-        ctx.done_left = ctx.dag.tasks.len();
-        for task in &ctx.dag.tasks {
-            if task.deps.is_empty() {
-                let shard = ctx.task_shard[task.id.0 as usize];
-                engine.schedule_at(shard, at, SimEvent::Ready(j as u16, task.id));
+        ctx.done_left = ctx.tasks.len();
+        for (i, &indegree) in ctx.dep_counts.iter().enumerate() {
+            if indegree == 0 {
+                let shard = ctx.task_shard[i];
+                engine.schedule_at(shard, at, SimEvent::Ready(j as u16, TaskId(i as u32)));
             }
         }
     }
@@ -1556,6 +1659,367 @@ impl ScenarioSim {
         }
     }
 
+    /// Classifies one event's commit for the rail-sharded phase. Evaluated *lazily*
+    /// — against the live circuit plans at the event's position in the batch walk —
+    /// because a barrier commit (an injection triggering a replan) can change a
+    /// slot's rail footprint mid-batch. Within a barrier-free run the classification
+    /// inputs (policy, task kind, slot plans, offload threshold) are immutable, so
+    /// classifying the whole run up front is exact.
+    fn commit_class(&self, event: SimEvent) -> CommitClass {
+        match event {
+            SimEvent::External(_) | SimEvent::FastForward(_) => CommitClass::Barrier,
+            SimEvent::Done(..) => CommitClass::Seq,
+            SimEvent::Ready(j, id) => {
+                let ctx = &self.jobs[j as usize];
+                if !ctx.config.policy.is_optical() {
+                    return CommitClass::Seq;
+                }
+                let slot = ctx.task_circuit_slot[id.0 as usize];
+                if slot == NO_SLOT {
+                    return CommitClass::Seq;
+                }
+                let bytes = match *ctx.tasks.kind(id) {
+                    TaskKind::Compute { .. } => return CommitClass::Seq,
+                    TaskKind::Collective { bytes, .. } | TaskKind::PointToPoint { bytes, .. } => {
+                        bytes
+                    }
+                };
+                let slot = &ctx.circuit_pool[slot as usize];
+                if slot.circuits.is_scaleup_only()
+                    || ctx
+                        .config
+                        .host_offload
+                        .is_some_and(|h| bytes <= h.threshold)
+                {
+                    return CommitClass::Seq;
+                }
+                match slot.circuits.per_rail.len() {
+                    1 => {
+                        let rail = slot.circuits.per_rail.keys().next().expect("len checked");
+                        CommitClass::Rail(rail.index())
+                    }
+                    _ => CommitClass::Barrier,
+                }
+            }
+        }
+    }
+
+    /// Commits one drained batch with the rail-sharded phase: maximal barrier-free
+    /// runs commit via [`ScenarioSim::commit_segment`]; each barrier flushes the run
+    /// and commits alone on the coordinator. The walk preserves the batch's global
+    /// `(time, seq)` order end to end.
+    fn commit_batch_sharded(
+        &mut self,
+        engine: &mut ShardedEngine<SimEvent>,
+        batch: Vec<(SimTime, ShardId, SimEvent, Option<EventPlan>)>,
+    ) {
+        let mut i = 0;
+        while i < batch.len() {
+            let mut k = i;
+            while k < batch.len() && self.commit_class(batch[k].2) != CommitClass::Barrier {
+                k += 1;
+            }
+            if k > i {
+                self.commit_segment(engine, &batch[i..k]);
+            }
+            if k < batch.len() {
+                let (now, _, event, planned) = batch[k];
+                self.commit_event(engine, now, event, planned);
+                k += 1;
+            }
+            i = k;
+        }
+    }
+
+    /// Commits one barrier-free run of events. Rail-classed commits are evaluated on
+    /// per-rail workers — each owning its rail's [`RailLane`], replaying that rail's
+    /// commits in sequence order — while every global effect (counters, logs,
+    /// records, scheduling, and all `Seq`-classed commits) is applied on the
+    /// coordinator in the run's `(time, seq)` order. Small runs and
+    /// `commit_threads <= 1` fall back to plain sequential commits.
+    fn commit_segment(
+        &mut self,
+        engine: &mut ShardedEngine<SimEvent>,
+        batch: &[(SimTime, ShardId, SimEvent, Option<EventPlan>)],
+    ) {
+        let num_rails = self.cluster.num_rails() as usize;
+        let mut per_rail: Vec<Vec<usize>> = vec![Vec::new(); num_rails];
+        let mut rail_events = 0usize;
+        for (i, &(_, _, event, _)) in batch.iter().enumerate() {
+            if let CommitClass::Rail(rail) = self.commit_class(event) {
+                per_rail[rail].push(i);
+                rail_events += 1;
+            }
+        }
+        if self.commit_threads <= 1 || rail_events < COMMIT_SHARD_MIN {
+            for &(now, _, event, planned) in batch {
+                self.commit_event(engine, now, event, planned);
+            }
+            return;
+        }
+
+        // Phase 1: evaluate every rail's commits on its own worker. The lanes borrow
+        // disjoint controller state; everything else the workers read — job tables,
+        // circuit plans, the shim's provisioning flag, rail health — only changes at
+        // barrier commits or iteration boundaries, both of which are provably absent
+        // from a barrier-free run (a pending `Ready` keeps its job's iteration open).
+        let commit_threads = self.commit_threads;
+        let mut outcomes: Vec<Option<RailOutcome>> = Vec::with_capacity(batch.len());
+        outcomes.resize_with(batch.len(), || None);
+        {
+            let ScenarioSim {
+                jobs,
+                fleet,
+                cluster,
+                ..
+            } = &mut *self;
+            let Fleet {
+                backend,
+                health,
+                faults,
+                ..
+            } = fleet;
+            let faults = *faults;
+            let health: &RailHealth = health;
+            let jobs: &[JobContext] = jobs;
+            let cluster: &Cluster = cluster;
+            let controller = backend
+                .controller_mut()
+                .expect("rail-classed commits imply an optical backend");
+            let mut lanes: Vec<Option<RailLane<'_>>> =
+                controller.rail_lanes().into_iter().map(Some).collect();
+            let tasks: Vec<(Vec<usize>, RailLane<'_>)> = per_rail
+                .into_iter()
+                .enumerate()
+                .filter(|(_, idxs)| !idxs.is_empty())
+                .map(|(rail, idxs)| (idxs, lanes[rail].take().expect("one lane per rail")))
+                .collect();
+            let results = scoped_run(tasks, commit_threads, |(idxs, mut lane)| {
+                idxs.into_iter()
+                    .map(|i| {
+                        let (now, _, event, planned) = batch[i];
+                        let SimEvent::Ready(j, id) = event else {
+                            unreachable!("only Ready events classify as rail commits")
+                        };
+                        let outcome = Self::commit_rail_comm(
+                            &jobs[j as usize],
+                            cluster,
+                            health,
+                            faults,
+                            &mut lane,
+                            id,
+                            now,
+                            planned,
+                        );
+                        (i, outcome)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (i, outcome) in results.into_iter().flatten() {
+                outcomes[i] = Some(outcome);
+            }
+        }
+
+        // Phase 2: merge in the run's global order — rail outcomes interleaved with
+        // the coordinator-committed `Seq` events exactly where the sequential walk
+        // would have placed them.
+        for (i, &(now, _, event, planned)) in batch.iter().enumerate() {
+            match outcomes[i].take() {
+                Some(outcome) => self.apply_rail_outcome(engine, event, outcome),
+                None => self.commit_event(engine, now, event, planned),
+            }
+        }
+    }
+
+    /// The per-rail half of one rail-classed commit, run on the rail's worker: the
+    /// single-rail re-enactment of [`ScenarioSim::execute_comm`]'s optical scale-out
+    /// path, mutating only the rail's [`RailLane`]. Every step mirrors the sequential
+    /// code path exactly — same no-op fast path, same provisioning back-dating, same
+    /// conflict wait, same unconditional install — so the merged result is
+    /// byte-identical for any thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_rail_comm(
+        ctx: &JobContext,
+        cluster: &Cluster,
+        health: &RailHealth,
+        faults: bool,
+        lane: &mut RailLane<'_>,
+        id: TaskId,
+        now: SimTime,
+        planned: Option<EventPlan>,
+    ) -> RailOutcome {
+        let label = ctx.tasks.label(id);
+        let (kind, axis, bytes, group) = match ctx.tasks.kind(id).clone() {
+            TaskKind::Collective {
+                group,
+                kind,
+                axis,
+                bytes,
+            } => (kind, axis, bytes, Some(group)),
+            TaskKind::PointToPoint { axis, bytes, .. } => {
+                (CollectiveKind::SendRecv, axis, bytes, None)
+            }
+            TaskKind::Compute { .. } => unreachable!("rail commits are communications"),
+        };
+        let config = &ctx.config;
+        let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+        // Same invalidation as the sequential path: a plan prepped before a replan
+        // swap describes the old circuits. (A swap cannot commit *during* the run —
+        // it only happens at injection barriers — so the version read is race-free.)
+        let planned = planned.filter(|p| p.slot_version == slot.version);
+        let rail_config = slot
+            .circuits
+            .per_rail
+            .values()
+            .next()
+            .expect("rail-classed tasks ride exactly one rail");
+        let group_size = if group.is_some() {
+            slot.group_size as usize
+        } else {
+            2
+        };
+        let duration = planned.and_then(|p| p.duration).unwrap_or_else(|| {
+            let params = slot.adjust_params(Self::comm_params(config, cluster, true, false));
+            collective_time(kind, config.scaleout_algorithm, group_size, bytes, &params)
+        });
+
+        // The outage gate runs (and panics on unsatisfiable timelines) exactly where
+        // the sequential path runs it, even though the no-op fast path below ignores
+        // its result — installed circuits imply the rail is up.
+        let gated = if faults {
+            outage_gate(health, &slot.circuits, now, ctx.job, label)
+        } else {
+            now
+        };
+
+        // The prep-phase `optical_ready` answer is deliberately ignored here: the
+        // worker owns the rail's live state, so re-reading it answers exactly what
+        // the epoch-validated plan (or the sequential recompute) would have.
+        let (noop, reconfig, ready) = if let Some(installed) = lane.installed_ready(rail_config) {
+            (true, None, installed)
+        } else {
+            let provisioned = config.provisioning_active(ctx.iteration) && ctx.shim.can_provision();
+            let requested_at = if provisioned {
+                let earliest_useful = SimTime::from_nanos(
+                    now.as_nanos()
+                        .saturating_sub(config.reconfig_latency.as_nanos()),
+                );
+                lane.ports_free_at(rail_config).max(earliest_useful)
+            } else {
+                now
+            };
+            let requested_at = if gated > now {
+                requested_at.max(gated)
+            } else {
+                requested_at
+            };
+            let noop = lane.already_installed(rail_config);
+            let start_install = if noop {
+                requested_at
+            } else {
+                requested_at.max(lane.ports_free_at(rail_config))
+            };
+            // Unconditional, like `OpusController::request`: a no-op install leaves
+            // the matching (and the epoch) untouched and returns the existing ready
+            // time.
+            let rail_ready = lane.install(rail_config, start_install);
+            let reconfig = (!noop).then(|| {
+                lane.note_reconfig();
+                ReconfigEvent {
+                    rail: lane.rail(),
+                    group: slot.group,
+                    requested_at,
+                    started_at: start_install,
+                    ready_at: rail_ready,
+                    circuits_installed: rail_config.len(),
+                }
+            });
+            (noop, reconfig, requested_at.max(rail_ready))
+        };
+
+        let start = ready.max(now);
+        let end = start + duration;
+        lane.occupy(rail_config, end);
+        RailOutcome {
+            end,
+            noop,
+            reconfig,
+            record: CommRecord {
+                task: id,
+                label,
+                axis,
+                kind,
+                group,
+                bytes,
+                scaleout: true,
+                rails: slot.circuits.rail_set(),
+                issued_at: now,
+                start,
+                end,
+                circuit_wait: start.duration_since(now),
+            },
+        }
+    }
+
+    /// The coordinator half of one rail-classed commit, applied at the event's turn
+    /// in the global order: profiling-iteration shim observation, per-job metric
+    /// streams, controller counters, fleet accounting and `Done` scheduling — every
+    /// effect the sequential `Ready` arm performs outside the rail's own lane.
+    fn apply_rail_outcome(
+        &mut self,
+        engine: &mut ShardedEngine<SimEvent>,
+        event: SimEvent,
+        outcome: RailOutcome,
+    ) {
+        let SimEvent::Ready(j, id) = event else {
+            unreachable!("only Ready events carry rail outcomes")
+        };
+        let j = j as usize;
+        let RailOutcome {
+            end,
+            noop,
+            reconfig,
+            record,
+        } = outcome;
+        let ScenarioSim { jobs, fleet, .. } = &mut *self;
+        let ctx = &mut jobs[j];
+        let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+        if ctx.iteration == 0 {
+            let group = slot.group;
+            for rank in ctx.tasks.ranks(id) {
+                ctx.shim.observe(*rank, group);
+            }
+        }
+        ctx.finish[id.0 as usize] = end;
+        debug_assert!(
+            ctx.total_circuit_wait
+                .checked_add(record.circuit_wait)
+                .is_some(),
+            "total_circuit_wait overflowed u64 nanoseconds — the saturating \
+             clamp would silently freeze the metric"
+        );
+        ctx.total_circuit_wait = ctx.total_circuit_wait.saturating_add(record.circuit_wait);
+        let (start, rec_end) = (record.start, record.end);
+        ctx.comm_records.push(record);
+        if let Some(ev) = reconfig {
+            ctx.reconfig_events.push(ev);
+        }
+        fleet
+            .backend
+            .controller_mut()
+            .expect("rail outcomes imply an optical backend")
+            .replay_requests(1, noop as u64);
+        if fleet.multi_job {
+            let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
+            fleet.note_transfer(ctx.job.0, &slot.circuits, start, rec_end);
+        }
+        engine.schedule_at(
+            ctx.task_shard[id.0 as usize],
+            end,
+            SimEvent::Done(j as u16, id),
+        );
+    }
+
     /// Applies one injected external event at its committed time.
     fn apply_injection(&mut self, idx: usize, now: SimTime, engine: &mut ShardedEngine<SimEvent>) {
         self.fleet.injections_applied += 1;
@@ -1760,8 +2224,7 @@ impl ScenarioSim {
             return None;
         }
         let controller = self.fleet.backend.controller()?;
-        let task = &ctx.dag.tasks[id.0 as usize];
-        let bytes = match task.kind {
+        let bytes = match *ctx.tasks.kind(id) {
             TaskKind::Compute { .. } => return None,
             TaskKind::Collective { bytes, .. } | TaskKind::PointToPoint { bytes, .. } => bytes,
         };
@@ -1781,12 +2244,12 @@ impl ScenarioSim {
     /// The α–β transfer duration of a communication task (None for compute tasks).
     /// Depends only on immutable per-task data, so it can be computed concurrently.
     fn plan_comm_duration(ctx: &JobContext, cluster: &Cluster, id: TaskId) -> Option<SimDuration> {
-        let task = &ctx.dag.tasks[id.0 as usize];
-        if matches!(task.kind, TaskKind::Compute { .. }) {
+        let task_kind = ctx.tasks.kind(id);
+        if matches!(task_kind, TaskKind::Compute { .. }) {
             return None;
         }
         let slot = &ctx.circuit_pool[ctx.task_circuit_slot[id.0 as usize] as usize];
-        let (kind, bytes, group_size) = match task.kind {
+        let (kind, bytes, group_size) = match *task_kind {
             TaskKind::Compute { .. } => unreachable!("filtered above"),
             TaskKind::Collective { kind, bytes, .. } => (kind, bytes, slot.group_size as usize),
             TaskKind::PointToPoint { bytes, .. } => (CollectiveKind::SendRecv, bytes, 2),
@@ -1840,12 +2303,11 @@ impl ScenarioSim {
         now: SimTime,
         planned: Option<EventPlan>,
     ) -> (SimTime, Option<CommRecord>) {
-        let task = &ctx.dag.tasks[id.0 as usize];
-        // Handles are `Copy`, so taking them out of the task costs nothing — the hot
+        // Handles are `Copy`, so taking them out of the table costs nothing — the hot
         // path never clones a label `String` or a participant `Vec` per event.
-        let kind = task.kind.clone();
-        let label = task.label;
-        let participants = task.participants;
+        let kind = ctx.tasks.kind(id).clone();
+        let label = ctx.tasks.label(id);
+        let participants = ctx.tasks.participants(id);
         match kind {
             TaskKind::Compute { duration } => {
                 let jitter = ctx.rng.jitter(ctx.config.compute_jitter);
@@ -2050,9 +2512,9 @@ impl ScenarioSim {
             // Offloaded traffic never touches the rails, so it carries no rail list and
             // is invisible to the per-rail window/phase analysis — which is the point.
             rails: if offloaded {
-                Vec::new()
+                RailSet::EMPTY
             } else {
-                circuits.rails()
+                circuits.rail_set()
             },
             issued_at: now,
             start,
@@ -2644,14 +3106,16 @@ mod tests {
             reference.jobs[0].replan_reconfigs > 0,
             "the flap must actually trigger replans for the determinism check to bite"
         );
-        for (shards, threads) in [(1u32, 1u32), (2, 4), (64, 8)] {
-            let alt = run(replan
+        for (shards, threads, commits) in [(1u32, 1u32, 2u32), (2, 4, 1), (64, 8, 8)] {
+            let mut alt_cfg = replan
                 .with_event_shards(shards)
-                .with_parallel_threads(threads));
+                .with_parallel_threads(threads);
+            alt_cfg.commit_threads = Some(commits);
+            let alt = run(alt_cfg);
             assert_eq!(
                 format!("{alt:?}"),
                 format!("{reference:?}"),
-                "{shards} shards x {threads} threads"
+                "{shards} shards x {threads} threads x {commits} commit threads"
             );
         }
     }
@@ -2678,10 +3142,12 @@ mod tests {
                 .run()
         };
         let reference = run(base);
-        for (shards, threads) in [(1u32, 1u32), (2, 4), (64, 8)] {
-            let alt = run(base
+        for (shards, threads, commits) in [(1u32, 1u32, 4u32), (2, 4, 2), (64, 8, 8)] {
+            let mut alt_cfg = base
                 .with_event_shards(shards)
-                .with_parallel_threads(threads));
+                .with_parallel_threads(threads);
+            alt_cfg.commit_threads = Some(commits);
+            let alt = run(alt_cfg);
             for (a, b) in alt.jobs.iter().zip(reference.jobs.iter()) {
                 for (x, y) in a.result.iterations.iter().zip(b.result.iterations.iter()) {
                     assert_eq!(x.iteration_time, y.iteration_time, "{shards}x{threads}");
@@ -2690,6 +3156,37 @@ mod tests {
                 }
             }
             assert_eq!(alt.fleet.rail_busy, reference.fleet.rail_busy);
+        }
+    }
+
+    #[test]
+    fn commit_thread_counts_never_change_single_job_results() {
+        // Single-job optical runs are the 100k/1M hot path the sharded commit phase
+        // exists for; pin every policy against the sequential reference across
+        // commit-thread counts. `tiny_dag` batches are small, so drop the fallback
+        // threshold's protection by running several iterations — the grid still
+        // exercises both the fallback and (with the threshold in mind) the merge
+        // discipline itself via the larger determinism suites.
+        for base in [
+            OpusConfig::on_demand(SimDuration::from_millis(5)),
+            OpusConfig::provisioned(SimDuration::from_millis(5)),
+        ] {
+            let mut reference_cfg = base;
+            reference_cfg.iterations = 3;
+            let reference = Scenario::new(tiny_cluster(4))
+                .job(tiny_dag(), reference_cfg)
+                .run();
+            for commits in [2u32, 8] {
+                let mut cfg = reference_cfg;
+                cfg.commit_threads = Some(commits);
+                let alt = Scenario::new(tiny_cluster(4)).job(tiny_dag(), cfg).run();
+                assert_eq!(
+                    format!("{alt:?}"),
+                    format!("{reference:?}"),
+                    "{commits} commit threads, {:?}",
+                    base.policy
+                );
+            }
         }
     }
 }

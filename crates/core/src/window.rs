@@ -64,7 +64,7 @@ pub struct Window {
 pub fn phases_on_rail(records: &[CommRecord], rail: RailId) -> Vec<Phase> {
     let mut on_rail: Vec<&CommRecord> = records
         .iter()
-        .filter(|r| r.scaleout && r.rails.contains(&rail))
+        .filter(|r| r.scaleout && r.rails.contains(rail))
         .collect();
     on_rail.sort_by_key(|r| (r.issued_at, r.task));
     phases_of_stream(rail, &on_rail)
@@ -98,7 +98,7 @@ pub fn phases_by_rail(records: &[CommRecord], rails: &[RailId]) -> Vec<(RailId, 
     let mut streams: Vec<Vec<&CommRecord>> = vec![Vec::new(); rails.len()];
     for rec in records.iter().filter(|r| r.scaleout) {
         for rail in &rec.rails {
-            if let Some(lanes) = lanes_of.get(rail) {
+            if let Some(lanes) = lanes_of.get(&rail) {
                 for &lane in lanes {
                     streams[lane].push(rec);
                 }
@@ -200,6 +200,7 @@ pub fn default_traffic_buckets_mb() -> Vec<f64> {
 mod tests {
     use super::*;
     use railsim_collectives::{CollectiveKind, GroupId};
+    use railsim_topology::RailSet;
     use railsim_workload::TaskId;
 
     fn record(
@@ -218,7 +219,7 @@ mod tests {
             group: Some(GroupId(0)),
             bytes: Bytes::from_mb(mb),
             scaleout: true,
-            rails: vec![RailId(rail)],
+            rails: RailSet::from_iter([RailId(rail)]),
             issued_at: SimTime::from_millis(issue_ms),
             start: SimTime::from_millis(start_ms),
             end: SimTime::from_millis(end_ms),

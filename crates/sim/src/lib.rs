@@ -9,6 +9,8 @@
 //! * [`Engine`] — a minimal discrete-event simulation driver,
 //! * [`ShardedEngine`] — the same driver with one event lane per shard (rail) and a
 //!   deterministic cross-shard merge, for 1k–10k GPU clusters,
+//! * [`scoped_run`] — scoped fork–join evaluation with results in task order, the
+//!   primitive behind both the parallel prep and the sharded commit phases,
 //! * [`SimRng`] — a seedable, reproducible random-number generator,
 //! * [`stats`] — summary statistics, histograms and empirical CDFs used by the
 //!   experiment harness.
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod sharded;
@@ -51,6 +54,7 @@ pub mod time;
 pub mod units;
 
 pub use engine::Engine;
+pub use parallel::scoped_run;
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;
 pub use sharded::{ShardId, ShardedEngine};

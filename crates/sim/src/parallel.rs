@@ -1,0 +1,102 @@
+//! Scoped fork–join execution for deterministic parallel phases.
+//!
+//! [`scoped_run`] is the one concurrency primitive the batch *commit* path shares
+//! with the batch *prep* path ([`ShardedEngine::pop_batch_parallel`]
+//! (crate::ShardedEngine::pop_batch_parallel)): take a list of independent tasks,
+//! evaluate them on up to `max_threads` scoped worker threads, and hand the results
+//! back **in task order**. Determinism comes from the structure, not from luck —
+//! each worker owns a contiguous run of tasks, workers share no mutable state
+//! (anything mutable travels *inside* a task, e.g. a per-rail `&mut` lane), and the
+//! join re-assembles results positionally. The caller is free to treat the output
+//! exactly as if the tasks had run sequentially.
+//!
+//! Small inputs run inline: spawning threads for a handful of tasks costs more than
+//! the work itself, and the inline path is bit-for-bit the same computation.
+
+/// Runs `work` over `tasks` on up to `max_threads` scoped worker threads, returning
+/// the results in task order. With `max_threads <= 1` or fewer than two tasks the
+/// evaluation happens inline on the caller's thread.
+///
+/// Each worker receives a contiguous chunk of the task list, so a task's index in
+/// the output equals its index in the input regardless of the thread count.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn scoped_run<T, R, F>(tasks: Vec<T>, max_threads: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if max_threads <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(&work).collect();
+    }
+    let workers = max_threads.min(tasks.len());
+    let chunk = tasks.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    {
+        let mut iter = tasks.into_iter();
+        loop {
+            let c: Vec<T> = iter.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(work).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.extend(handle.join().expect("scoped worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let tasks: Vec<u64> = (0..100).collect();
+            let out = scoped_run(tasks, threads, |t| t * 3);
+            assert_eq!(
+                out,
+                (0..100).map(|t| t * 3).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn tasks_may_carry_mutable_state() {
+        // The intended commit-phase shape: every task owns an exclusive &mut lane.
+        let mut lanes = [0u64; 7];
+        let tasks: Vec<(&mut u64, u64)> = lanes.iter_mut().zip(10..17).collect();
+        let echoed = scoped_run(tasks, 4, |(lane, v)| {
+            *lane = v * v;
+            v
+        });
+        assert_eq!(echoed, (10..17).collect::<Vec<_>>());
+        assert_eq!(lanes, [100, 121, 144, 169, 196, 225, 256]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        assert_eq!(scoped_run(Vec::<u32>::new(), 8, |t| t), Vec::<u32>::new());
+        assert_eq!(scoped_run(vec![41u32], 8, |t| t + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let out = scoped_run(vec![1u32, 2, 3], 64, |t| t);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

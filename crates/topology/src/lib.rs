@@ -46,7 +46,7 @@ pub use cluster::Cluster;
 pub use fabric::{ElectricalRailFabric, OpticalRailFabric, RailConnectivity, ScaleOutFabric};
 pub use fattree::{ClosDimensions, FatTreeDimensions};
 pub use health::RailHealth;
-pub use ids::{GpuId, NodeId, PortId, RailId};
+pub use ids::{GpuId, NodeId, PortId, RailId, RailSet, RailSetIter};
 pub use ocs::{Circuit, CircuitConfig, Ocs, OcsError};
 pub use path::{CommPath, PathKind};
 pub use spec::{ClusterSpec, NicConfig, NodePreset};

@@ -182,6 +182,17 @@ impl<T> Arena<T> {
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
         self.chunks.iter_mut().flatten()
     }
+
+    /// Drains the arena chunk-by-chunk, yielding owned elements in allocation order
+    /// and leaving the arena empty. Each chunk's backing allocation is freed as soon
+    /// as its iterator is dropped, so a consumer that condenses elements into a
+    /// smaller representation (e.g. a column-major task table) never holds more than
+    /// one chunk of the original on top of its output — the peak-RSS property the
+    /// million-GPU regime depends on.
+    pub fn drain_chunks(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.len = 0;
+        self.chunks.drain(..).flatten()
+    }
 }
 
 impl<T> std::ops::Index<Handle<T>> for Arena<T> {
@@ -340,6 +351,21 @@ mod tests {
         use serde::Serialize as _;
         let arena: Arena<u32> = (0..3).collect();
         assert_eq!(arena.to_value(), vec![0u32, 1, 2].to_value());
+    }
+
+    #[test]
+    fn drain_chunks_yields_everything_and_frees_the_storage() {
+        let n = CHUNK + 5;
+        let mut arena: Arena<usize> = (0..n).collect();
+        let drained: Vec<usize> = arena.drain_chunks().collect();
+        assert_eq!(drained, (0..n).collect::<Vec<_>>());
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.get(0), None);
+        // The arena is reusable after a drain.
+        let h = arena.alloc(7usize);
+        assert_eq!(arena[h], 7);
+        assert_eq!(arena.len(), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::arena::{Arena, Handle};
 use crate::compute::ComputeModel;
+use crate::deps::DepList;
 use crate::intern::{LabelId, RankSet};
 use crate::model::ModelConfig;
 use crate::parallelism::{DataParallelKind, ParallelismConfig};
@@ -157,8 +158,10 @@ pub struct Task {
     /// `[src, dst]` for point-to-point transfers), pooled so that every task sharing
     /// a participant set (e.g. all of a comm group's collectives) shares one copy.
     pub participants: RankSet,
-    /// Tasks that must complete before this one can start.
-    pub deps: Vec<TaskId>,
+    /// Tasks that must complete before this one can start. Inline up to
+    /// [`crate::deps::DEPS_INLINE`] ids — at datacenter scale per-task `Vec`s
+    /// were gigabytes of small allocations (see the `deps` module docs).
+    pub deps: DepList,
     /// Human-readable label ("fwd s0 mb0 L3", "FSDP-AG L3", ...), interned — see
     /// [`crate::intern`]. Serializes as the plain string it resolves to.
     pub label: LabelId,
@@ -430,6 +433,105 @@ impl TrainingDag {
     }
 }
 
+/// The columns of a [`TrainingDag`] an executor still needs once scheduling structure
+/// (dependency edges, comm groups, parallelism config) has been condensed into its own
+/// run-time form: what each task *does*, its label, and who participates.
+///
+/// A [`Task`] spends most of its footprint on the `deps` vector — three heap-owning
+/// words plus the edge storage itself — which an executor reads exactly once, to build
+/// its CSR dependents table and indegree counts. At the million-GPU regime (~90M tasks)
+/// keeping the full row-major task arena alive for the rest of the run wastes
+/// gigabytes. A `TaskTable` is the column-major residue: three dense vectors indexed
+/// by [`TaskId`], each element `Copy`-sized, with no per-task heap.
+#[derive(Debug, Clone, Default)]
+pub struct TaskTable {
+    kinds: Vec<TaskKind>,
+    labels: Vec<LabelId>,
+    participants: Vec<RankSet>,
+}
+
+impl TaskTable {
+    /// Condenses a shared DAG by cloning the retained columns. The arena stays alive
+    /// (other scenario variants may still hold the `Arc`), so this is the
+    /// peak-neutral path — used when a sweep shares one template across runs.
+    pub fn from_shared(dag: &TrainingDag) -> TaskTable {
+        let mut table = TaskTable::with_capacity(dag.tasks.len());
+        for task in &dag.tasks {
+            table.push(task.kind.clone(), task.label, task.participants);
+        }
+        table
+    }
+
+    /// Condenses a uniquely-owned DAG, freeing it chunk-by-chunk as it goes via
+    /// [`Arena::drain_chunks`]: each drained task's `deps` vector is dropped
+    /// immediately, so peak RSS is the condensed table plus at most one arena chunk —
+    /// not table *plus* arena. This is the path the `--gpus 1024000` regime takes.
+    pub fn from_owned(mut dag: TrainingDag) -> TaskTable {
+        let mut table = TaskTable::with_capacity(dag.tasks.len());
+        drop(std::mem::take(&mut dag.groups));
+        // Freed arena chunks land in the allocator's free lists, not back with
+        // the OS; at ~90M tasks that keeps gigabytes of dead build memory
+        // resident through the drain. Handing pages back every ~1M tasks makes
+        // the drain genuinely incremental at a cost of a few hundred advisory
+        // syscalls per billion tasks.
+        const TRIM_EVERY: usize = 1 << 20;
+        let mut drained = 0usize;
+        for task in dag.tasks.drain_chunks() {
+            table.push(task.kind, task.label, task.participants);
+            drained += 1;
+            if drained.is_multiple_of(TRIM_EVERY) {
+                crate::mem::release_free_heap();
+            }
+        }
+        crate::mem::release_free_heap();
+        table
+    }
+
+    fn with_capacity(n: usize) -> TaskTable {
+        TaskTable {
+            kinds: Vec::with_capacity(n),
+            labels: Vec::with_capacity(n),
+            participants: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, kind: TaskKind, label: LabelId, participants: RankSet) {
+        self.kinds.push(kind);
+        self.labels.push(label);
+        self.participants.push(participants);
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the table holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// What the task does.
+    pub fn kind(&self, id: TaskId) -> &TaskKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    /// The task's interned label.
+    pub fn label(&self, id: TaskId) -> LabelId {
+        self.labels[id.0 as usize]
+    }
+
+    /// The task's pooled participant set.
+    pub fn participants(&self, id: TaskId) -> RankSet {
+        self.participants[id.0 as usize]
+    }
+
+    /// The participating ranks, resolved from the pooled set.
+    pub fn ranks(&self, id: TaskId) -> &'static [GpuId] {
+        self.participants(id).ranks()
+    }
+}
+
 /// Builds [`TrainingDag`]s from a model, a parallelism configuration and a compute model.
 #[derive(Debug, Clone)]
 pub struct DagBuilder {
@@ -495,7 +597,7 @@ impl BuildState {
             id: TaskId(0),
             kind: TaskKind::Compute { duration },
             participants: RankSet::intern(&[rank]),
-            deps,
+            deps: deps.into(),
             label: LabelId::intern(&label),
             microbatch,
             layer,
@@ -551,7 +653,7 @@ impl BuildState {
                 bytes,
             },
             participants: RankSet::intern(&group.ranks),
-            deps,
+            deps: deps.into(),
             label: key.1,
             microbatch,
             layer,
@@ -587,7 +689,7 @@ impl BuildState {
                 bytes,
             },
             participants: RankSet::intern(&[src, dst]),
-            deps,
+            deps: deps.into(),
             label: LabelId::intern(&label),
             microbatch,
             layer: None,
@@ -1211,6 +1313,30 @@ mod tests {
             "the 16-rank Llama3-8B DAG should be sizable, got {}",
             dag.len()
         );
+    }
+
+    #[test]
+    fn task_table_matches_the_dag_on_both_condensation_paths() {
+        let dag = paper_dag();
+        let shared = TaskTable::from_shared(&dag);
+        assert_eq!(shared.len(), dag.len());
+        for task in &dag.tasks {
+            assert_eq!(shared.kind(task.id), &task.kind);
+            assert_eq!(shared.label(task.id), task.label);
+            assert_eq!(shared.participants(task.id), task.participants);
+            assert_eq!(shared.ranks(task.id), task.ranks());
+        }
+        // The owning path must agree column-for-column and leave nothing behind.
+        let n = dag.len();
+        let owned = TaskTable::from_owned(dag);
+        assert_eq!(owned.len(), n);
+        assert!(!owned.is_empty());
+        for i in 0..n {
+            let id = TaskId(i as u32);
+            assert_eq!(owned.kind(id), shared.kind(id));
+            assert_eq!(owned.label(id), shared.label(id));
+            assert_eq!(owned.participants(id), shared.participants(id));
+        }
     }
 
     #[test]

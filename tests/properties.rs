@@ -287,15 +287,18 @@ proptest! {
         seed in 0u64..1000,
         shards in 1u32..65,
         threads in 1u32..9,
+        commits in 1u32..9,
         replan in 0u32..2,
     ) {
         // Any timeline of rail-down/up pulses, OCS degradation and a late job
         // arrival, over a two-job scenario on shared rails, must serialize
-        // byte-identically for every engine lane count and worker-thread count —
-        // the same contract the single-job determinism suite pins, extended to the
-        // scenario driver's external event class. Half the cases flip the jobs to
-        // `RecoveryPolicy::Replan`, so degraded-plan swaps (and swap-backs) are in
-        // flight while the engine shards and worker threads vary.
+        // byte-identically for every engine lane count, prep-worker count and
+        // commit-thread count — the same contract the single-job determinism suite
+        // pins, extended to the scenario driver's external event class. Half the
+        // cases flip the jobs to `RecoveryPolicy::Replan`, so degraded-plan swaps
+        // (and swap-backs) — commit barriers that re-classify rail traffic
+        // mid-batch — interleave with the rail flaps while the sharded commit
+        // phase runs.
         let build = |config: OpusConfig| {
             let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 8).build();
             let model = ModelConfig::tiny_test();
@@ -340,10 +343,13 @@ proptest! {
             base.recovery_policy = RecoveryPolicy::Replan;
         }
         let reference = build(base);
-        let variant = build(base.with_event_shards(shards).with_parallel_threads(threads));
+        let mut alt = base.with_event_shards(shards).with_parallel_threads(threads);
+        alt.commit_threads = Some(commits);
+        let variant = build(alt);
         prop_assert_eq!(
             reference, variant,
-            "scenario diverged at {} shards x {} threads", shards, threads
+            "scenario diverged at {} shards x {} threads x {} commit threads",
+            shards, threads, commits
         );
     }
 
@@ -353,6 +359,7 @@ proptest! {
         two_jobs in 0u32..2,
         shards in 1u32..65,
         threads in 1u32..9,
+        commits in 1u32..9,
         replan in 0u32..2,
     ) {
         // `rail == 4` doubles as "no flap" (the cluster has 4 rails).
@@ -363,7 +370,10 @@ proptest! {
         // timeline (memo invalidates and re-arms) and a two-job scenario (memo
         // disables itself) all serialize byte-identically to the naive path. Half
         // the cases run under `RecoveryPolicy::Replan`, so fast-forward windows must
-        // also agree with the naive path while a degraded plan is live.
+        // also agree with the naive path while a degraded plan is live. The naive
+        // side additionally commits on a drawn rail-sharded thread count, so memo
+        // replay, replan swaps and the parallel commit phase are pinned against
+        // each other in one stroke.
         let build = |config: OpusConfig| {
             let nodes = if two_jobs { 8 } else { 4 };
             let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, nodes).build();
@@ -396,10 +406,13 @@ proptest! {
         if replan == 1 {
             base.recovery_policy = RecoveryPolicy::Replan;
         }
+        let mut naive = base.with_memoization(false);
+        naive.commit_threads = Some(commits);
         prop_assert_eq!(
             build(base),
-            build(base.with_memoization(false)),
-            "memoized and naive paths diverged at {} shards x {} threads", shards, threads
+            build(naive),
+            "memoized and naive paths diverged at {} shards x {} threads x {} commit threads",
+            shards, threads, commits
         );
     }
 

@@ -8,6 +8,29 @@
 
 use std::time::{Duration, Instant};
 
+/// Peak resident set (`VmHWM`) in MiB, when procfs exposes it (`None` elsewhere).
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let rest = status.lines().find_map(|l| l.strip_prefix("VmHWM:"))?;
+    let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Best-effort reset of the kernel peak-RSS watermark ("5" into clear_refs), so each
+/// bench reports its own high-water mark rather than the process-lifetime maximum.
+/// Freed-but-retained heap pages are returned to the OS first (glibc `malloc_trim`)
+/// so an earlier bench's churn does not count against this bench's reading.
+fn reset_peak_rss() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    unsafe {
+        unsafe extern "C" {
+            fn malloc_trim(pad: usize) -> std::ffi::c_int;
+        }
+        malloc_trim(0);
+    }
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Opaque value barrier preventing the optimizer from deleting benchmark work.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
@@ -37,11 +60,19 @@ impl Criterion {
             window: self.measurement_window,
             report: None,
         };
+        reset_peak_rss();
         f(&mut bencher);
         match bencher.report {
             Some((iters, elapsed)) => {
                 let per_iter = elapsed.as_nanos() as f64 / iters as f64;
-                println!("bench: {name:<48} {per_iter:>14.1} ns/iter ({iters} iters)");
+                // The trailing peak-RSS pair keeps memory honest per bench; parsers
+                // that only understand the ns/iter prefix ignore the extra tokens.
+                match peak_rss_mib() {
+                    Some(mib) => println!(
+                        "bench: {name:<48} {per_iter:>14.1} ns/iter ({iters} iters) peak_rss {mib:.1} MiB"
+                    ),
+                    None => println!("bench: {name:<48} {per_iter:>14.1} ns/iter ({iters} iters)"),
+                }
             }
             None => println!("bench: {name:<48} (no measurement)"),
         }
