@@ -25,8 +25,8 @@
 //! `results/fleet_frontier.json`.
 
 use opus::fleet::{FailureModel, FleetService, ProvisioningLevel, SweepSpec, VariantResult};
-use opus::{ReconfigPolicy, RecoveryPolicy};
-use railsim_bench::{scaled_cluster, scaled_dag, Report};
+use opus::{JobPlacement, ReconfigPolicy, RecoveryPolicy};
+use railsim_bench::{scaled_cluster_with_spare, scaled_dag, Report};
 use railsim_cost::{standard_points, GpuBackendCostModel};
 use railsim_sim::SimDuration;
 use serde::Serialize;
@@ -105,11 +105,23 @@ fn main() {
                 .map(|l| l.clone().with_recovery(RecoveryPolicy::Replan)),
         )
         .collect();
-    let traces_per_level = (requested_variants.div_ceil(levels.len()).max(2)) as u32;
+    // Two placement cells: the packed reference at GPU 0, and the same job shifted
+    // half a node into the spare capacity. The half-node offset de-aligns every
+    // rank from its standalone rail, so failure traces hit a genuinely different
+    // circuit layout — the placement axis stops being a degenerate single cell.
+    let placements = vec![JobPlacement::Auto, JobPlacement::AtGpu(4)];
+    let cells = levels.len() * placements.len();
+    let traces_per_level = (requested_variants.div_ceil(cells).max(2)) as u32;
 
-    println!("fleet sweep: {num_gpus} GPUs, {} levels x {traces_per_level} traces = {} variants, {workers} workers", levels.len(), levels.len() * traces_per_level as usize);
+    println!(
+        "fleet sweep: {num_gpus} GPUs, {} levels x {} placements x {traces_per_level} traces = {} variants, {workers} workers",
+        levels.len(),
+        placements.len(),
+        cells * traces_per_level as usize
+    );
 
-    let service = FleetService::new(scaled_cluster(num_gpus));
+    // One spare node gives the shifted placement cell room at the top end.
+    let service = FleetService::new(scaled_cluster_with_spare(num_gpus, 1));
     let template = format!("{num_gpus}-h200/llama3-8b-tp8-pp8-fsdp");
     service.dag_template(&template, || scaled_dag(num_gpus));
 
@@ -142,6 +154,7 @@ fn main() {
         iterations,
         traces_per_level,
         levels,
+        placements,
         failures,
         workers,
         ..SweepSpec::default()
@@ -153,8 +166,8 @@ fn main() {
     let report = service.evaluate_streaming(&sweep, |v| {
         done += 1;
         println!(
-            "  [{done}/{total}] variant {:3}  level {} trace {:2}  job_end {}  waits {}",
-            v.variant, v.level, v.trace, v.job_end, v.circuit_wait
+            "  [{done}/{total}] variant {:3}  level {} cell {} trace {:2}  job_end {}  waits {}",
+            v.variant, v.level, v.placement, v.trace, v.job_end, v.circuit_wait
         );
     });
     let wall = started.elapsed().as_secs_f64();

@@ -21,5 +21,5 @@ pub use report::Report;
 pub use setups::{
     fig8_latencies_ms, paper_cluster, paper_compute, paper_dag, paper_dag_large_batch, paper_model,
     paper_parallelism, scale_gpu_counts, scale_run_config, scaled_cluster, scaled_cluster_100k,
-    scaled_dag, scaled_parallelism, SCALE_100K_GPUS,
+    scaled_cluster_with_spare, scaled_dag, scaled_parallelism, SCALE_100K_GPUS,
 };

@@ -62,6 +62,17 @@ pub fn scale_gpu_counts() -> Vec<u32> {
 /// methodology for this point are documented in EXPERIMENTS.md.
 pub const SCALE_100K_GPUS: u32 = 102_400;
 
+/// A datacenter-scale cluster with `spare_nodes` extra DGX H200 nodes beyond the
+/// job's world size — headroom for shifted placement cells (a fleet sweep placing
+/// the same job at a non-zero GPU offset) and for co-located serving tenants.
+pub fn scaled_cluster_with_spare(num_gpus: u32, spare_nodes: u32) -> Cluster {
+    assert!(
+        num_gpus > 0 && num_gpus.is_multiple_of(64),
+        "scaled setups need a positive multiple of 64 GPUs (8 per node x PP=8), got {num_gpus}"
+    );
+    ClusterSpec::from_preset(NodePreset::DgxH200, num_gpus / 8 + spare_nodes).build()
+}
+
 /// The 100k-GPU cluster preset (see [`SCALE_100K_GPUS`]).
 pub fn scaled_cluster_100k() -> Cluster {
     scaled_cluster(SCALE_100K_GPUS)

@@ -92,6 +92,48 @@ impl RecoveryPolicy {
     }
 }
 
+/// How the controller resolves port contention between tenants sharing an optical
+/// rail fabric.
+///
+/// The controller's conflict-avoidance rule is FC-FS: a reconfiguration request waits
+/// until the traffic currently occupying its ports drains. With a single job that is
+/// always the right call — the job's own demand order is sequential. With multiple
+/// tenants it means an aggressive tenant's long transfers can starve a latency-
+/// sensitive one. Eviction policies let a requester *take* another tenant's busy ports
+/// instead of waiting (the OCS install then tears the displaced circuits down, exactly
+/// as it always has); they never preempt the requester's own traffic, so intra-job
+/// ordering stays FC-FS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Never evict: wait for every port to drain (the default — byte-identical to the
+    /// single-tenant controller).
+    Never,
+    /// Always evict other tenants' port holds: the requester only waits for its own
+    /// traffic. The displaced tenant re-requests and pays the reconfiguration again —
+    /// maximal aggression, useful as the contention upper bound.
+    LruTenant,
+    /// Evict only tenants that have waited *less* than the requester on that rail so
+    /// far: circuit-wait time acts as the fairness currency, so a tenant that has
+    /// already absorbed more than its share of waiting gets to cut the line.
+    FairShare,
+}
+
+impl EvictionPolicy {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Never => "never",
+            EvictionPolicy::LruTenant => "lru-tenant",
+            EvictionPolicy::FairShare => "fair-share",
+        }
+    }
+
+    /// True when the policy can displace another tenant's holds.
+    pub fn can_evict(self) -> bool {
+        !matches!(self, EvictionPolicy::Never)
+    }
+}
+
 /// Configuration of one Opus simulation run.
 ///
 /// All fields are public: start from a policy constructor ([`OpusConfig::electrical`],
@@ -167,6 +209,12 @@ pub struct OpusConfig {
     /// re-striped across the surviving rails). Ignored by the electrical baseline,
     /// which has no circuits to lose.
     pub recovery_policy: RecoveryPolicy,
+    /// How the controller arbitrates optical-port contention between tenants:
+    /// [`EvictionPolicy::Never`] (the default — FC-FS waiting, byte-identical to the
+    /// single-tenant controller) or an evicting policy that lets one tenant displace
+    /// another's circuits. Only meaningful in multi-job optical scenarios; all jobs of
+    /// a scenario must agree on it (like `reconfig_latency`).
+    pub eviction: EvictionPolicy,
 }
 
 impl Default for OpusConfig {
@@ -219,6 +267,7 @@ impl OpusConfig {
             commit_threads: None,
             memoize_steady_state: true,
             recovery_policy: RecoveryPolicy::Stall,
+            eviction: EvictionPolicy::Never,
         }
     }
 
@@ -398,6 +447,19 @@ mod tests {
         );
         assert_eq!(RecoveryPolicy::Stall.name(), "stall");
         assert_eq!(RecoveryPolicy::Replan.name(), "replan");
+    }
+
+    #[test]
+    fn eviction_defaults_to_never() {
+        assert_eq!(OpusConfig::electrical().eviction, EvictionPolicy::Never);
+        assert_eq!(
+            OpusConfig::provisioned(SimDuration::from_millis(25)).eviction,
+            EvictionPolicy::Never
+        );
+        assert!(!EvictionPolicy::Never.can_evict());
+        assert!(EvictionPolicy::LruTenant.can_evict());
+        assert!(EvictionPolicy::FairShare.can_evict());
+        assert_eq!(EvictionPolicy::FairShare.name(), "fair-share");
     }
 
     #[test]

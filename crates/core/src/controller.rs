@@ -13,10 +13,76 @@
 //! needs, and a log of [`ReconfigEvent`]s for the experiment harness.
 
 use crate::circuits::GroupCircuits;
+use crate::config::EvictionPolicy;
 use crate::metrics::ReconfigEvent;
 use railsim_collectives::GroupId;
-use railsim_sim::SimTime;
+use railsim_sim::{SimDuration, SimTime};
 use railsim_topology::{CircuitConfig, Ocs, OpticalRailFabric, RailId};
+
+/// Sentinel tenant id: the port's current hold was not placed by a tenant-tagged
+/// transfer (or the port was never busy). Untagged holds are never evictable.
+pub const NO_TENANT: u32 = u32::MAX;
+
+/// The per-rail port-claim arithmetic shared by the sequential controller and the
+/// rail-sharded [`RailLane`] commit path — one function so the two paths cannot
+/// drift. Given a tenant's request over one rail's `config` at `requested_at`:
+///
+/// 1. the requester waits for every *non-evictable* hold (its own traffic, untagged
+///    holds, and — under [`EvictionPolicy::FairShare`] — tenants that have waited at
+///    least as long on this rail) to drain;
+/// 2. every evictable hold still extending past that wait is evicted: its remaining
+///    occupancy is clamped to the requester's start and the displacement is charged
+///    to both sides' eviction counters (one count per port hold taken);
+/// 3. the requester's own wait (`start - requested_at`) is added to the rail's
+///    fairness ledger.
+///
+/// Returns `(start, evicted_port_holds)`.
+#[allow(clippy::too_many_arguments)]
+fn claim_rail_ports(
+    policy: EvictionPolicy,
+    tenant: u32,
+    config: &CircuitConfig,
+    requested_at: SimTime,
+    num_rails: u32,
+    ports_per_gpu: u8,
+    port_busy: &mut [SimTime],
+    port_tenant: &mut [u32],
+    wait: &mut [SimDuration],
+    suffered: &mut [u64],
+    inflicted: &mut [u64],
+) -> (SimTime, u64) {
+    let evictable = |holder: u32, wait: &[SimDuration]| {
+        holder != NO_TENANT
+            && holder != tenant
+            && match policy {
+                EvictionPolicy::Never => false,
+                EvictionPolicy::LruTenant => true,
+                EvictionPolicy::FairShare => wait[tenant as usize] > wait[holder as usize],
+            }
+    };
+    let mut start = requested_at;
+    for port in config.ports() {
+        let (_, idx) = port.rail_dense_index(num_rails, ports_per_gpu);
+        if !evictable(port_tenant[idx], wait) {
+            start = start.max(port_busy[idx]);
+        }
+    }
+    let mut evicted = 0u64;
+    for port in config.ports() {
+        let (_, idx) = port.rail_dense_index(num_rails, ports_per_gpu);
+        if port_busy[idx] > start {
+            // Only evictable holds can still extend past `start`.
+            let holder = port_tenant[idx];
+            debug_assert!(evictable(holder, wait));
+            suffered[holder as usize] += 1;
+            inflicted[tenant as usize] += 1;
+            port_busy[idx] = start;
+            evicted += 1;
+        }
+    }
+    wait[tenant as usize] += start - requested_at;
+    (start, evicted)
+}
 
 /// The Opus controller: rail OCSes plus occupancy tracking and the reconfiguration log.
 ///
@@ -47,6 +113,24 @@ pub struct OpusController {
     /// Per-rail no-op flags of the request being handled, reused across requests so
     /// the hot path never allocates.
     noop_scratch: Vec<bool>,
+    /// The tenant-contention policy. [`EvictionPolicy::Never`] (the default) keeps
+    /// every code path byte-identical to the single-tenant controller; the tenancy
+    /// tables below are then empty and never touched.
+    eviction: EvictionPolicy,
+    /// Tenant that placed each port's current busy hold, [`NO_TENANT`] when untagged.
+    /// One table per rail, indexed like `port_busy`; inner vecs are empty unless
+    /// [`OpusController::set_eviction`] activated tenancy.
+    port_tenant: Vec<Vec<u32>>,
+    /// Accumulated circuit-wait per `[rail][tenant]` — the fairness currency of
+    /// [`EvictionPolicy::FairShare`]. Inner vecs empty unless tenancy is active.
+    wait_by_rail: Vec<Vec<SimDuration>>,
+    /// Port holds evicted *from* each tenant, per `[rail][tenant]`.
+    evictions_suffered: Vec<Vec<u64>>,
+    /// Port holds evicted *by* each tenant, per `[rail][tenant]`.
+    evictions_inflicted: Vec<Vec<u64>>,
+    /// Installed circuits displaced by evicting installs, per rail (counted through
+    /// [`Ocs::conflicting_circuits`] at the moment an eviction fires).
+    circuits_evicted: Vec<u64>,
 }
 
 impl OpusController {
@@ -67,7 +151,75 @@ impl OpusController {
             noop_requests: 0,
             lifetime_by_rail: vec![0; num_rails],
             noop_scratch: Vec::new(),
+            eviction: EvictionPolicy::Never,
+            port_tenant: vec![Vec::new(); num_rails],
+            wait_by_rail: vec![Vec::new(); num_rails],
+            evictions_suffered: vec![Vec::new(); num_rails],
+            evictions_inflicted: vec![Vec::new(); num_rails],
+            circuits_evicted: vec![0; num_rails],
         }
+    }
+
+    /// Activates tenant-aware contention arbitration: requests tagged through
+    /// [`OpusController::request_from`] may displace other tenants' port holds
+    /// according to `policy`, and per-tenant wait/eviction ledgers are kept for the
+    /// fairness metrics. With [`EvictionPolicy::Never`] (or when never called) every
+    /// path stays byte-identical to the single-tenant controller.
+    pub fn set_eviction(&mut self, policy: EvictionPolicy, num_tenants: u32) {
+        self.eviction = policy;
+        if policy.can_evict() {
+            self.port_tenant = self
+                .port_busy
+                .iter()
+                .map(|v| vec![NO_TENANT; v.len()])
+                .collect();
+            let tenants = num_tenants as usize;
+            self.wait_by_rail = vec![vec![SimDuration::ZERO; tenants]; self.port_busy.len()];
+            self.evictions_suffered = vec![vec![0; tenants]; self.port_busy.len()];
+            self.evictions_inflicted = vec![vec![0; tenants]; self.port_busy.len()];
+        }
+    }
+
+    /// The active contention policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// True when tenant-aware arbitration is active (an evicting policy was set).
+    pub fn tenancy_active(&self) -> bool {
+        self.eviction.can_evict()
+    }
+
+    /// Port holds evicted *from* `tenant`, summed over rails.
+    pub fn evictions_suffered_by(&self, tenant: u32) -> u64 {
+        self.evictions_suffered
+            .iter()
+            .filter_map(|v| v.get(tenant as usize))
+            .sum()
+    }
+
+    /// Port holds evicted *by* `tenant`, summed over rails.
+    pub fn evictions_inflicted_by(&self, tenant: u32) -> u64 {
+        self.evictions_inflicted
+            .iter()
+            .filter_map(|v| v.get(tenant as usize))
+            .sum()
+    }
+
+    /// `tenant`'s accumulated circuit wait in the fairness ledger, summed over rails.
+    pub fn tenant_wait(&self, tenant: u32) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for rail in &self.wait_by_rail {
+            if let Some(w) = rail.get(tenant as usize) {
+                total += *w;
+            }
+        }
+        total
+    }
+
+    /// Installed circuits displaced by evicting installs, per rail.
+    pub fn circuits_evicted_by_rail(&self) -> &[u64] {
+        &self.circuits_evicted
     }
 
     /// Borrow the fabric.
@@ -246,6 +398,115 @@ impl OpusController {
         ready
     }
 
+    /// The tenant-tagged variant of [`OpusController::request`]: identical FC-FS
+    /// semantics under [`EvictionPolicy::Never`] (it delegates), but under an evicting
+    /// policy the requester may displace *other* tenants' port holds instead of
+    /// waiting for them (see [`claim_rail_ports`] for the arbitration rule). The
+    /// requester's own traffic is never preempted, so intra-tenant ordering stays
+    /// FC-FS.
+    pub fn request_from(
+        &mut self,
+        tenant: u32,
+        group: GroupId,
+        circuits: &GroupCircuits,
+        requested_at: SimTime,
+    ) -> SimTime {
+        if !self.tenancy_active() {
+            return self.request(group, circuits, requested_at);
+        }
+        self.requests += 1;
+        if circuits.per_rail.is_empty() {
+            self.noop_requests += 1;
+            return requested_at;
+        }
+        self.noop_scratch.clear();
+        let mut already_everywhere = true;
+        for (rail, config) in &circuits.per_rail {
+            let noop = self.fabric.ocs(*rail).already_installed(config);
+            self.noop_scratch.push(noop);
+            already_everywhere &= noop;
+        }
+        if already_everywhere {
+            self.noop_requests += 1;
+        }
+        let mut ready = requested_at;
+        for (i, (rail, config)) in circuits.per_rail.iter().enumerate() {
+            let ocs_already = self.noop_scratch[i];
+            let start = if ocs_already {
+                requested_at
+            } else {
+                let r = rail.index();
+                let (start, evicted) = claim_rail_ports(
+                    self.eviction,
+                    tenant,
+                    config,
+                    requested_at,
+                    self.num_rails,
+                    self.ports_per_gpu,
+                    &mut self.port_busy[r],
+                    &mut self.port_tenant[r],
+                    &mut self.wait_by_rail[r],
+                    &mut self.evictions_suffered[r],
+                    &mut self.evictions_inflicted[r],
+                );
+                if evicted > 0 {
+                    self.circuits_evicted[r] +=
+                        self.fabric.ocs(*rail).conflicting_circuits(config) as u64;
+                }
+                start
+            };
+            let rail_ready = self
+                .fabric
+                .install(*rail, config, start)
+                .unwrap_or_else(|e| panic!("circuit install failed on {rail}: {e}"));
+            if !ocs_already {
+                self.events.push(ReconfigEvent {
+                    rail: *rail,
+                    group,
+                    requested_at,
+                    started_at: start,
+                    ready_at: rail_ready,
+                    circuits_installed: config.len(),
+                });
+                self.lifetime_by_rail[rail.index()] += 1;
+            }
+            ready = ready.max(rail_ready);
+        }
+        ready
+    }
+
+    /// The tenant-aware variant of [`OpusController::ports_free_at`]: the earliest
+    /// time at or after which every port of `circuits` that `tenant` would actually
+    /// have to *wait* for is free — holds the active eviction policy lets the tenant
+    /// displace are skipped. Used to back-date provisioned requests, so a tenant that
+    /// can evict issues its speculative request as early as eviction would allow.
+    pub fn ports_free_for(&self, tenant: u32, circuits: &GroupCircuits) -> SimTime {
+        if !self.tenancy_active() {
+            return self.ports_free_at(circuits);
+        }
+        let mut free = SimTime::ZERO;
+        for config in circuits.per_rail.values() {
+            for port in config.ports() {
+                let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+                let holder = self.port_tenant[rail][idx];
+                let evictable = holder != NO_TENANT
+                    && holder != tenant
+                    && match self.eviction {
+                        EvictionPolicy::Never => false,
+                        EvictionPolicy::LruTenant => true,
+                        EvictionPolicy::FairShare => {
+                            self.wait_by_rail[rail][tenant as usize]
+                                > self.wait_by_rail[rail][holder as usize]
+                        }
+                    };
+                if !evictable {
+                    free = free.max(self.port_busy[rail][idx]);
+                }
+            }
+        }
+        free
+    }
+
     /// Handles a rail failure: tears down every circuit on the rail's OCS (the light
     /// path is gone, whatever group owned it). Returns how many circuits were lost.
     /// Tearing down bumps the fabric's circuit epoch, so any pre-evaluated
@@ -302,6 +563,24 @@ impl OpusController {
         }
     }
 
+    /// The tenant-tagged variant of [`OpusController::occupy`]: the same max-merged
+    /// occupancy, but each port whose hold this transfer extends (or establishes) is
+    /// stamped with the owning tenant, so a later contender knows whose traffic it
+    /// would displace. Identical to [`OpusController::occupy`] when tenancy is off.
+    pub fn occupy_for(&mut self, tenant: u32, circuits: &GroupCircuits, until: SimTime) {
+        let active = self.tenancy_active();
+        for config in circuits.per_rail.values() {
+            for port in config.ports() {
+                let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+                let slot = &mut self.port_busy[rail][idx];
+                if active && until >= *slot {
+                    self.port_tenant[rail][idx] = tenant;
+                }
+                *slot = (*slot).max(until);
+            }
+        }
+    }
+
     /// Total reconfigurations actually performed.
     pub fn total_reconfigs(&self) -> usize {
         self.events.len()
@@ -335,20 +614,46 @@ impl OpusController {
     pub fn rail_lanes(&mut self) -> Vec<RailLane<'_>> {
         let num_rails = self.num_rails;
         let ports_per_gpu = self.ports_per_gpu;
+        let eviction = self.eviction;
         self.fabric
             .ocses_mut()
             .iter_mut()
             .zip(self.port_busy.iter_mut())
             .zip(self.lifetime_by_rail.iter_mut())
+            .zip(
+                self.port_tenant
+                    .iter_mut()
+                    .zip(self.wait_by_rail.iter_mut())
+                    .zip(
+                        self.evictions_suffered
+                            .iter_mut()
+                            .zip(self.evictions_inflicted.iter_mut()),
+                    )
+                    .zip(self.circuits_evicted.iter_mut()),
+            )
             .enumerate()
-            .map(|(i, ((ocs, port_busy), lifetime))| RailLane {
-                rail: RailId(i as u32),
-                ocs,
-                port_busy,
-                lifetime,
-                num_rails,
-                ports_per_gpu,
-            })
+            .map(
+                |(
+                    i,
+                    (
+                        ((ocs, port_busy), lifetime),
+                        (((port_tenant, wait), (suffered, inflicted)), circuits_evicted),
+                    ),
+                )| RailLane {
+                    rail: RailId(i as u32),
+                    ocs,
+                    port_busy,
+                    lifetime,
+                    num_rails,
+                    ports_per_gpu,
+                    eviction,
+                    port_tenant,
+                    wait,
+                    suffered,
+                    inflicted,
+                    circuits_evicted,
+                },
+            )
             .collect()
     }
 }
@@ -370,6 +675,12 @@ pub struct RailLane<'a> {
     lifetime: &'a mut u64,
     num_rails: u32,
     ports_per_gpu: u8,
+    eviction: EvictionPolicy,
+    port_tenant: &'a mut Vec<u32>,
+    wait: &'a mut Vec<SimDuration>,
+    suffered: &'a mut Vec<u64>,
+    inflicted: &'a mut Vec<u64>,
+    circuits_evicted: &'a mut u64,
 }
 
 impl RailLane<'_> {
@@ -436,6 +747,97 @@ impl RailLane<'_> {
                 self.rail
             );
             let slot = &mut self.port_busy[idx];
+            *slot = (*slot).max(until);
+        }
+    }
+
+    /// True when tenant-aware arbitration is active on this lane.
+    pub fn tenancy_active(&self) -> bool {
+        self.eviction.can_evict()
+    }
+
+    /// The single-rail analogue of [`OpusController::ports_free_for`]: the earliest
+    /// time `tenant` would actually have to wait until on this rail, skipping holds
+    /// the eviction policy lets it displace.
+    pub fn ports_free_for(&self, tenant: u32, config: &CircuitConfig) -> SimTime {
+        if !self.tenancy_active() {
+            return self.ports_free_at(config);
+        }
+        let mut free = SimTime::ZERO;
+        for port in config.ports() {
+            let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+            debug_assert_eq!(
+                rail,
+                self.rail.index(),
+                "port {port} is not on {}",
+                self.rail
+            );
+            let holder = self.port_tenant[idx];
+            let evictable = holder != NO_TENANT
+                && holder != tenant
+                && match self.eviction {
+                    EvictionPolicy::Never => false,
+                    EvictionPolicy::LruTenant => true,
+                    EvictionPolicy::FairShare => {
+                        self.wait[tenant as usize] > self.wait[holder as usize]
+                    }
+                };
+            if !evictable {
+                free = free.max(self.port_busy[idx]);
+            }
+        }
+        free
+    }
+
+    /// Claims `config`'s ports for `tenant` at `requested_at`: waits for
+    /// non-evictable holds, evicts the rest, updates the fairness ledgers — exactly
+    /// the arithmetic [`OpusController::request_from`] performs for one rail (both
+    /// call [`claim_rail_ports`]). Returns the install start time. Falls back to the
+    /// plain FC-FS wait when tenancy is off.
+    pub fn claim_ports(
+        &mut self,
+        tenant: u32,
+        config: &CircuitConfig,
+        requested_at: SimTime,
+    ) -> SimTime {
+        if !self.tenancy_active() {
+            return requested_at.max(self.ports_free_at(config));
+        }
+        let (start, evicted) = claim_rail_ports(
+            self.eviction,
+            tenant,
+            config,
+            requested_at,
+            self.num_rails,
+            self.ports_per_gpu,
+            self.port_busy,
+            self.port_tenant,
+            self.wait,
+            self.suffered,
+            self.inflicted,
+        );
+        if evicted > 0 {
+            *self.circuits_evicted += self.ocs.conflicting_circuits(config) as u64;
+        }
+        start
+    }
+
+    /// The single-rail analogue of [`OpusController::occupy_for`]: max-merged
+    /// occupancy plus the tenant stamp on every hold this transfer extends.
+    pub fn occupy_for(&mut self, tenant: u32, config: &CircuitConfig, until: SimTime) {
+        let active = self.tenancy_active();
+        for port in config.ports() {
+            let (rail, idx) = port.rail_dense_index(self.num_rails, self.ports_per_gpu);
+            debug_assert_eq!(
+                rail,
+                self.rail.index(),
+                "port {port} is not on {}",
+                self.rail
+            );
+            let slot = &mut self.port_busy[idx];
+            if active && until >= *slot {
+                self.port_tenant[idx] = tenant;
+            }
             *slot = (*slot).max(until);
         }
     }
@@ -659,6 +1061,161 @@ mod tests {
             lanes[0].installed_ready(config).unwrap().max(later)
         };
         assert_eq!(lane_again, seq_again);
+    }
+
+    #[test]
+    fn never_policy_request_from_is_the_plain_request() {
+        let (cluster, mut tagged, planner) = setup();
+        let mut plain = tagged.clone();
+        let group = dp_group(1, &[0, 4]);
+        let circuits = planner.plan(&cluster, &group);
+        // Tenancy never activated: the tagged entry points delegate byte-for-byte.
+        assert!(!tagged.tenancy_active());
+        let a = tagged.request_from(0, group.id, &circuits, SimTime::from_millis(10));
+        let b = plain.request(group.id, &circuits, SimTime::from_millis(10));
+        assert_eq!(a, b);
+        assert_eq!(tagged.requests(), plain.requests());
+        tagged.occupy_for(0, &circuits, SimTime::from_millis(500));
+        plain.occupy(&circuits, SimTime::from_millis(500));
+        assert_eq!(
+            tagged.ports_free_for(1, &circuits),
+            plain.ports_free_at(&circuits)
+        );
+    }
+
+    #[test]
+    fn lru_tenant_evicts_other_tenants_but_waits_for_its_own() {
+        let (cluster, mut ctrl, planner) = setup();
+        ctrl.set_eviction(EvictionPolicy::LruTenant, 2);
+        // Tenant 0's DP group and tenant 1's PP group share GPU 0's port on rail 0.
+        let dp = dp_group(1, &[0, 4]);
+        let pp = CommGroup::new(
+            railsim_collectives::GroupId(2),
+            ParallelismAxis::Pipeline,
+            vec![GpuId(0), GpuId(8)],
+        );
+        let dp_circuits = planner.plan(&cluster, &dp);
+        let pp_circuits = planner.plan(&cluster, &pp);
+        ctrl.request_from(0, dp.id, &dp_circuits, SimTime::ZERO);
+        ctrl.occupy_for(0, &dp_circuits, SimTime::from_millis(300));
+        // Tenant 1 does not wait for tenant 0's hold: start at 150, ready at 175.
+        let ready = ctrl.request_from(1, pp.id, &pp_circuits, SimTime::from_millis(150));
+        assert_eq!(ready, SimTime::from_millis(175));
+        assert_eq!(ctrl.evictions_suffered_by(0), 1);
+        assert_eq!(ctrl.evictions_inflicted_by(1), 1);
+        assert!(ctrl.circuits_evicted_by_rail()[0] > 0);
+        // Tenant 1's own hold is never evicted by tenant 1: a second tenant-1 group
+        // on the same port waits the full FC-FS way.
+        ctrl.occupy_for(1, &pp_circuits, SimTime::from_millis(400));
+        let own = CommGroup::new(
+            railsim_collectives::GroupId(3),
+            ParallelismAxis::Data,
+            vec![GpuId(0), GpuId(12)],
+        );
+        let own_circuits = planner.plan(&cluster, &own);
+        let ready = ctrl.request_from(1, own.id, &own_circuits, SimTime::from_millis(200));
+        assert_eq!(ready, SimTime::from_millis(425), "own traffic drains first");
+    }
+
+    #[test]
+    fn fair_share_only_lets_the_longer_waiter_evict() {
+        let (cluster, mut ctrl, planner) = setup();
+        ctrl.set_eviction(EvictionPolicy::FairShare, 2);
+        let dp = dp_group(1, &[0, 4]);
+        let pp = CommGroup::new(
+            railsim_collectives::GroupId(2),
+            ParallelismAxis::Pipeline,
+            vec![GpuId(0), GpuId(8)],
+        );
+        let dp_circuits = planner.plan(&cluster, &dp);
+        let pp_circuits = planner.plan(&cluster, &pp);
+        ctrl.request_from(0, dp.id, &dp_circuits, SimTime::ZERO);
+        ctrl.occupy_for(0, &dp_circuits, SimTime::from_millis(300));
+        // Equal waits (both zero): tenant 1 may not evict and waits like FC-FS.
+        let ready = ctrl.request_from(1, pp.id, &pp_circuits, SimTime::from_millis(150));
+        assert_eq!(ready, SimTime::from_millis(325));
+        assert_eq!(ctrl.evictions_inflicted_by(1), 0);
+        assert_eq!(
+            ctrl.tenant_wait(1),
+            railsim_sim::SimDuration::from_millis(150),
+            "the FC-FS wait entered tenant 1's fairness ledger"
+        );
+        // Now tenant 0 re-takes the port and holds it; tenant 1 has waited more, so
+        // its next (circuit-changing) request displaces the hold instead of waiting.
+        ctrl.occupy_for(0, &dp_circuits, SimTime::from_millis(900));
+        let other = CommGroup::new(
+            railsim_collectives::GroupId(3),
+            ParallelismAxis::Data,
+            vec![GpuId(0), GpuId(12)],
+        );
+        let other_circuits = planner.plan(&cluster, &other);
+        let ready = ctrl.request_from(1, other.id, &other_circuits, SimTime::from_millis(400));
+        assert_eq!(
+            ready,
+            SimTime::from_millis(425),
+            "the longer waiter cuts the line"
+        );
+        assert_eq!(ctrl.evictions_suffered_by(0), 1);
+        assert_eq!(ctrl.evictions_inflicted_by(1), 1);
+    }
+
+    #[test]
+    fn rail_lane_claim_matches_the_sequential_eviction_path() {
+        // The same tenant-tagged contention sequence through `request_from` on one
+        // controller and through `RailLane::{ports_free_for, claim_ports, occupy_for}`
+        // on a clone must leave identical observables.
+        let (cluster, mut seq, planner) = setup();
+        seq.set_eviction(EvictionPolicy::FairShare, 2);
+        let mut sharded = seq.clone();
+        let dp = dp_group(1, &[0, 4]);
+        let pp = CommGroup::new(
+            railsim_collectives::GroupId(2),
+            ParallelismAxis::Pipeline,
+            vec![GpuId(0), GpuId(8)],
+        );
+        let dp_circuits = planner.plan(&cluster, &dp);
+        let pp_circuits = planner.plan(&cluster, &pp);
+        let dp_config = dp_circuits.per_rail.values().next().unwrap();
+        let pp_config = pp_circuits.per_rail.values().next().unwrap();
+
+        let r1 = seq.request_from(0, dp.id, &dp_circuits, SimTime::ZERO);
+        seq.occupy_for(0, &dp_circuits, SimTime::from_millis(300));
+        let r2 = seq.request_from(1, pp.id, &pp_circuits, SimTime::from_millis(150));
+        seq.occupy_for(1, &pp_circuits, SimTime::from_millis(500));
+
+        {
+            let mut lanes = sharded.rail_lanes();
+            let lane = &mut lanes[0];
+            assert!(lane.tenancy_active());
+            let start = lane.claim_ports(0, dp_config, SimTime::ZERO);
+            assert_eq!(lane.install(dp_config, start), r1);
+            lane.note_reconfig();
+            lane.occupy_for(0, dp_config, SimTime::from_millis(300));
+            assert_eq!(
+                lane.ports_free_for(1, pp_config),
+                SimTime::from_millis(300),
+                "equal waits: tenant 1 cannot skip the hold"
+            );
+            let start = lane.claim_ports(1, pp_config, SimTime::from_millis(150));
+            assert_eq!(lane.install(pp_config, start), r2);
+            lane.note_reconfig();
+            lane.occupy_for(1, pp_config, SimTime::from_millis(500));
+        }
+        assert_eq!(sharded.tenant_wait(0), seq.tenant_wait(0));
+        assert_eq!(sharded.tenant_wait(1), seq.tenant_wait(1));
+        assert_eq!(
+            sharded.evictions_suffered_by(0),
+            seq.evictions_suffered_by(0)
+        );
+        assert_eq!(
+            sharded.evictions_inflicted_by(1),
+            seq.evictions_inflicted_by(1)
+        );
+        assert_eq!(
+            sharded.ports_free_at(&pp_circuits),
+            seq.ports_free_at(&pp_circuits)
+        );
+        assert_eq!(sharded.circuit_epoch(), seq.circuit_epoch());
     }
 
     #[test]

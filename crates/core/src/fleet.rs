@@ -841,6 +841,41 @@ mod tests {
     }
 
     #[test]
+    fn a_second_placement_cell_doubles_the_grid_and_shifts_the_job() {
+        // A 5-node cluster leaves one spare node so the 16-rank job fits at a
+        // non-zero offset; the sweep evaluates every level under both cells.
+        let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 5).build();
+        let service = FleetService::new(cluster);
+        service.dag_template("tiny", || {
+            let model = ModelConfig::tiny_test();
+            let parallel = ParallelismConfig::paper_llama3_8b();
+            let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+            DagBuilder::new(model, parallel, compute).build()
+        });
+        let mut sweep = tiny_sweep(2);
+        sweep.placements = vec![JobPlacement::Auto, JobPlacement::AtGpu(4)];
+        assert_eq!(sweep.num_variants(), 2 * 2 * 2);
+        let report = service.evaluate(&sweep);
+        assert_eq!(report.variants.len(), 8);
+        for v in &report.variants {
+            let (level, placement, trace) = sweep.coords(v.variant);
+            assert_eq!((v.level, v.placement, v.trace), (level, placement, trace));
+            assert!(v.job_end > SimTime::ZERO);
+        }
+        // The node-aligned shift relocates the job onto the same rails one node
+        // over, so its *clean* runtime matches the packed cell exactly (rails are
+        // uniform); faulted traces draw per-variant seeds and may differ.
+        for level in 0..sweep.levels.len() {
+            let base = 2 * 2 * level;
+            assert_eq!(
+                report.variants[base].job_end,
+                report.variants[base + 2].job_end,
+                "level {level}: node-aligned placement cell diverged on the clean trace"
+            );
+        }
+    }
+
+    #[test]
     fn faulted_traces_cost_availability_and_the_frontier_flags_pareto_rows() {
         let service = tiny_service();
         let mut sweep = tiny_sweep(3);

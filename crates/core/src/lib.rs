@@ -64,12 +64,13 @@ pub mod fleet;
 pub mod group_table;
 pub mod metrics;
 pub mod scenario;
+pub mod serving;
 pub mod shim;
 pub mod simulation;
 pub mod window;
 
 pub use circuits::{CircuitPlanner, GroupCircuits};
-pub use config::{HostOffload, OpusConfig, ReconfigPolicy, RecoveryPolicy};
+pub use config::{EvictionPolicy, HostOffload, OpusConfig, ReconfigPolicy, RecoveryPolicy};
 pub use controller::OpusController;
 pub use fleet::{
     FailureModel, FleetService, Frontier, LevelSummary, Percentiles, ProvisioningLevel,
@@ -81,6 +82,7 @@ pub use scenario::{
     FleetMetrics, JobPlacement, JobResult, JobSpec, Scenario, ScenarioEvent, ScenarioResult,
     ScenarioSpec,
 };
+pub use serving::{ArrivalProcess, ServingSpec};
 pub use shim::{OpusShim, ShimProfile};
 pub use simulation::{baseline_of, run_policies, OpusSimulator};
 pub use window::{

@@ -74,10 +74,11 @@
 
 use crate::circuits::{CircuitPlanner, GroupCircuits};
 use crate::config::OpusConfig;
-use crate::config::{ReconfigPolicy, RecoveryPolicy};
+use crate::config::{EvictionPolicy, ReconfigPolicy, RecoveryPolicy};
 use crate::controller::{OpusController, RailLane};
 use crate::group_table::GroupTable;
 use crate::metrics::{CommRecord, IterationResult, ReconfigEvent, SimulationResult};
+use crate::serving::ServingSpec;
 use crate::shim::OpusShim;
 use railsim_collectives::{
     cost::{collective_time, CostParams},
@@ -90,7 +91,7 @@ use railsim_topology::{
 };
 use railsim_workload::{JobId, LabelId, RankSet, TaskId, TaskKind, TaskTable, TrainingDag};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// An external event injected into a scenario's timeline.
@@ -114,6 +115,31 @@ pub enum ScenarioEvent {
     /// `JobArrival` injection anywhere in the timeline does not start on its own.
     JobArrival {
         /// The arriving job (its index in declaration order).
+        job: JobId,
+    },
+    /// A burst of inference requests joins a serving job's backlog. The first burst
+    /// starts the job (a serving job never starts on its own); an idle job resumes
+    /// iterating immediately, a busy one absorbs the burst into its queue. See
+    /// [`ServingSpec`] and [`crate::serving::ArrivalProcess`].
+    RequestBurst {
+        /// The serving job (its index in declaration order).
+        job: JobId,
+        /// Requests in the burst (must be at least one).
+        requests: u32,
+    },
+    /// An elastic serving job grows by one replica at its next iteration boundary
+    /// (saturating at the DAG's maximum replica count). The claimed replica slice
+    /// was placed at build time through the normal [`JobPlacement`] machinery; the
+    /// grow simply unmasks it.
+    JobGrow {
+        /// The serving job (its index in declaration order).
+        job: JobId,
+    },
+    /// An elastic serving job shrinks by one replica at its next iteration boundary
+    /// (a deployment never drops below one active replica). The freed replica's
+    /// GPUs go quiet — overlapping tenants see their ports uncontended.
+    JobShrink {
+        /// The serving job (its index in declaration order).
         job: JobId,
     },
 }
@@ -145,6 +171,12 @@ pub struct JobSpec {
     pub config: OpusConfig,
     /// Where the job's ranks land in the shared cluster.
     pub placement: JobPlacement,
+    /// `Some` makes this a *serving* job: it starts on its first
+    /// [`ScenarioEvent::RequestBurst`], iterates while its backlog holds requests
+    /// (ignoring `config.iterations`), and resizes its active replica set on
+    /// [`ScenarioEvent::JobGrow`] / [`ScenarioEvent::JobShrink`]. `None` is a
+    /// classic training job, exactly as before.
+    pub serving: Option<ServingSpec>,
 }
 
 /// A scenario described as plain data: the shared cluster, the job declarations and
@@ -193,6 +225,26 @@ impl ScenarioSpec {
             dag,
             config,
             placement: at,
+            serving: None,
+        });
+        self
+    }
+
+    /// Adds a *serving* job: an elastic inference deployment that starts on its
+    /// first [`ScenarioEvent::RequestBurst`] and iterates while its backlog holds
+    /// requests. See [`ServingSpec`] and the [`crate::serving`] module docs.
+    pub fn serving_job(
+        mut self,
+        dag: Arc<TrainingDag>,
+        config: OpusConfig,
+        at: JobPlacement,
+        serving: ServingSpec,
+    ) -> Self {
+        self.jobs.push(JobSpec {
+            dag,
+            config,
+            placement: at,
+            serving: Some(serving),
         });
         self
     }
@@ -200,6 +252,16 @@ impl ScenarioSpec {
     /// Injects an external event at the given absolute time.
     pub fn inject(mut self, at: SimTime, event: ScenarioEvent) -> Self {
         self.injections.push((at, event));
+        self
+    }
+
+    /// Injects a whole pre-generated timeline (e.g. the output of
+    /// [`crate::serving::ArrivalProcess::bursts`]).
+    pub fn inject_all(
+        mut self,
+        events: impl IntoIterator<Item = (SimTime, ScenarioEvent)>,
+    ) -> Self {
+        self.injections.extend(events);
         self
     }
 
@@ -277,9 +339,32 @@ impl Scenario {
         self
     }
 
+    /// Adds a *serving* job — an elastic inference deployment. See
+    /// [`ScenarioSpec::serving_job`].
+    pub fn serving_job(
+        mut self,
+        dag: TrainingDag,
+        config: OpusConfig,
+        at: JobPlacement,
+        serving: ServingSpec,
+    ) -> Self {
+        self.spec = self.spec.serving_job(Arc::new(dag), config, at, serving);
+        self
+    }
+
     /// Injects an external event at the given absolute time.
     pub fn inject(mut self, at: SimTime, event: ScenarioEvent) -> Self {
         self.spec = self.spec.inject(at, event);
+        self
+    }
+
+    /// Injects a whole pre-generated timeline (e.g. the output of
+    /// [`crate::serving::ArrivalProcess::bursts`]).
+    pub fn inject_all(
+        mut self,
+        events: impl IntoIterator<Item = (SimTime, ScenarioEvent)>,
+    ) -> Self {
+        self.spec = self.spec.inject_all(events);
         self
     }
 
@@ -314,6 +399,21 @@ pub struct JobResult {
     pub replan_reconfigs: u64,
     /// Total simulated time the job spent with at least one group on a degraded plan.
     pub time_under_degraded_plan: SimDuration,
+    /// Circuit evictions this job *suffered*: another tenant displaced its port
+    /// holds under an active [`EvictionPolicy`]. Always 0 under
+    /// [`EvictionPolicy::Never`].
+    pub evictions_suffered: u64,
+    /// Circuit evictions this job *inflicted* on other tenants. Always 0 under
+    /// [`EvictionPolicy::Never`].
+    pub evictions_inflicted: u64,
+    /// This job's share of the scenario's total circuit-wait time (all jobs' shares
+    /// sum to 1 whenever any job waited at all; 0 otherwise).
+    pub circuit_wait_share: f64,
+    /// Inference requests the job retired (0 for training jobs).
+    pub requests_completed: u64,
+    /// The 99th-percentile request latency (arrival to retiring iteration end),
+    /// nearest-rank over every retired request. `None` for training jobs.
+    pub p99_request_latency: Option<SimDuration>,
     /// Its per-iteration metrics, exactly as a standalone
     /// [`OpusSimulator`](crate::OpusSimulator) run reports them.
     pub result: SimulationResult,
@@ -336,6 +436,10 @@ pub struct FleetMetrics {
     pub circuits_set_up_by_rail: Vec<u64>,
     /// Lifetime circuits torn down per rail (empty when no job ran an optical policy).
     pub circuits_torn_down_by_rail: Vec<u64>,
+    /// Circuits whose ports were evicted per rail under a tenant-aware
+    /// [`EvictionPolicy`] (empty unless a policy other than
+    /// [`EvictionPolicy::Never`] was active).
+    pub circuits_evicted_by_rail: Vec<u64>,
     /// Injected failures per rail.
     pub rail_failures: Vec<u64>,
     /// Accumulated injected downtime per rail (closed outages only).
@@ -546,6 +650,27 @@ struct JobContext {
     rng: SimRng,
     /// True when a `JobArrival` injection starts this job (it does not start at 0).
     arrives_via_event: bool,
+    // ---- serving (elastic inference) state ----
+    /// `Some` for serving jobs; see [`ServingSpec`].
+    serving: Option<ServingSpec>,
+    /// Per-task replica index (empty for training jobs). Tasks of replica `r` are
+    /// masked out while `r >= active`.
+    task_replica: Vec<u32>,
+    /// Replicas executing in the in-flight iteration.
+    active: u32,
+    /// Replicas the *next* iteration will run with (grow/shrink events adjust this;
+    /// it is snapshotted into `active` at each iteration start).
+    pending_active: u32,
+    /// The first `RequestBurst` has started the job.
+    serving_started: bool,
+    /// The backlog drained and the job is waiting for the next burst.
+    serving_idle: bool,
+    /// Arrival times of requests waiting to be served, FIFO.
+    backlog: VecDeque<SimTime>,
+    /// Latency (arrival to retiring iteration end) of every retired request.
+    request_latencies: Vec<SimDuration>,
+    /// Requests retired so far.
+    requests_completed: u64,
     // ---- live per-iteration state ----
     iteration: u32,
     iter_start: SimTime,
@@ -719,6 +844,17 @@ fn outage_gate(
     gated
 }
 
+/// Nearest-rank 99th percentile of request latencies (sorts in place). `None` for an
+/// empty set — training jobs serve no requests.
+fn p99(latencies: &mut [SimDuration]) -> Option<SimDuration> {
+    if latencies.is_empty() {
+        return None;
+    }
+    latencies.sort_unstable();
+    let idx = (latencies.len() * 99).div_ceil(100) - 1;
+    Some(latencies[idx])
+}
+
 /// The built, runnable scenario. `pub(crate)` so the single-job
 /// [`OpusSimulator`](crate::OpusSimulator) wrapper can drive it directly.
 pub(crate) struct ScenarioSim {
@@ -842,6 +978,34 @@ impl ScenarioSim {
                         "JobArrival for {job}, but only {} jobs are declared",
                         jobs.len()
                     );
+                    assert!(
+                        jobs[job.index()].serving.is_none(),
+                        "JobArrival targets {job}, a serving job — serving jobs start on \
+                         their first RequestBurst instead"
+                    );
+                }
+                ScenarioEvent::RequestBurst { job, requests } => {
+                    assert!(
+                        job.index() < jobs.len(),
+                        "RequestBurst for {job}, but only {} jobs are declared",
+                        jobs.len()
+                    );
+                    assert!(requests > 0, "a RequestBurst carries at least one request");
+                    assert!(
+                        jobs[job.index()].serving.is_some(),
+                        "RequestBurst targets {job}, which is not a serving job"
+                    );
+                }
+                ScenarioEvent::JobGrow { job } | ScenarioEvent::JobShrink { job } => {
+                    assert!(
+                        job.index() < jobs.len(),
+                        "grow/shrink for {job}, but only {} jobs are declared",
+                        jobs.len()
+                    );
+                    assert!(
+                        jobs[job.index()].serving.is_some(),
+                        "grow/shrink targets {job}, which is not a serving job"
+                    );
                 }
             }
         }
@@ -855,6 +1019,19 @@ impl ScenarioSim {
                 })
             })
             .collect();
+        for (j, job_spec) in jobs.iter().enumerate() {
+            if job_spec.serving.is_some() {
+                let fed = timeline.iter().any(|inj| {
+                    matches!(inj.event,
+                        ScenarioEvent::RequestBurst { job, .. } if job.index() == j)
+                });
+                assert!(
+                    fed,
+                    "job{j} is a serving job but the timeline delivers it no RequestBurst \
+                     — it would never start"
+                );
+            }
+        }
 
         // Place and rebase the jobs. Job 0 keeps offset 0 / group-id offset 0 under
         // automatic placement, so a single-job scenario is bit-for-bit the classic
@@ -863,12 +1040,24 @@ impl ScenarioSim {
         let mut next_free_gpu = 0u32;
         let mut next_group_id = 0u32;
         let mut optical_latency: Option<SimDuration> = None;
+        let mut optical_eviction: Option<EvictionPolicy> = None;
         for (j, spec) in jobs.into_iter().enumerate() {
             spec.dag.validate().expect("training DAG must be valid");
             assert!(
                 spec.config.iterations > 0,
                 "job{j} must simulate at least one iteration"
             );
+            if let Some(serving) = &spec.serving {
+                assert!(
+                    serving.is_valid(),
+                    "job{j}'s serving spec is inconsistent: {serving:?}"
+                );
+                assert_eq!(
+                    serving.replicas * serving.gpus_per_replica,
+                    spec.dag.max_rank() + 1,
+                    "job{j}'s serving spec must cover the DAG's world size"
+                );
+            }
             let gpu_offset = match spec.placement {
                 JobPlacement::Auto => next_free_gpu.div_ceil(gpus_per_node) * gpus_per_node,
                 JobPlacement::AtGpu(offset) => offset,
@@ -901,6 +1090,14 @@ impl ScenarioSim {
                          reconfiguration latency (the fabric is shared)"
                     ),
                 }
+                match optical_eviction {
+                    None => optical_eviction = Some(spec.config.eviction),
+                    Some(existing) => assert_eq!(
+                        existing, spec.config.eviction,
+                        "all optical jobs of a scenario must agree on the eviction \
+                         policy (the controller is shared)"
+                    ),
+                }
             }
             contexts.push(Self::build_job(
                 &cluster,
@@ -909,6 +1106,7 @@ impl ScenarioSim {
                 dag,
                 spec.config,
                 arriving[j],
+                spec.serving,
             ));
         }
 
@@ -938,12 +1136,23 @@ impl ScenarioSim {
             .max(1) as usize;
 
         let backend = match optical_latency {
-            Some(latency) => SharedBackend::Optical {
-                controller: Box::new(OpusController::new(OpticalRailFabric::for_cluster(
+            Some(latency) => {
+                let mut controller = Box::new(OpusController::new(OpticalRailFabric::for_cluster(
                     &cluster, latency,
-                ))),
-                electrical: ElectricalRailFabric::for_cluster(&cluster),
-            },
+                )));
+                if let Some(policy) = optical_eviction.filter(|p| p.can_evict()) {
+                    controller.set_eviction(policy, contexts.len() as u32);
+                    // Evictions make the shared port state policy-dependent mid-run;
+                    // the memo's shifted-replay proof no longer holds.
+                    for ctx in &mut contexts {
+                        ctx.memo.enabled = false;
+                    }
+                }
+                SharedBackend::Optical {
+                    controller,
+                    electrical: ElectricalRailFabric::for_cluster(&cluster),
+                }
+            }
             None => SharedBackend::Electrical(ElectricalRailFabric::for_cluster(&cluster)),
         };
         let num_rails = cluster.num_rails() as usize;
@@ -993,6 +1202,7 @@ impl ScenarioSim {
     }
 
     /// Builds one job's context (the tables the classic simulator built globally).
+    #[allow(clippy::too_many_arguments)]
     fn build_job(
         cluster: &Cluster,
         job: JobId,
@@ -1000,6 +1210,7 @@ impl ScenarioSim {
         dag: Arc<TrainingDag>,
         config: OpusConfig,
         arrives_via_event: bool,
+        serving: Option<ServingSpec>,
     ) -> JobContext {
         let group_table = GroupTable::build(cluster, dag.groups.values());
         let planner = CircuitPlanner::for_cluster(cluster);
@@ -1009,6 +1220,17 @@ impl ScenarioSim {
         let task_shard = Self::assign_task_shards(cluster, &dag, &circuit_pool, &task_circuit_slot);
         let rng = SimRng::new(config.seed);
         let n = dag.tasks.len();
+        // Inference replicas share no tasks, so a task's replica is simply its first
+        // participant's slice of the job's GPU range.
+        let task_replica: Vec<u32> = match &serving {
+            Some(s) => dag
+                .tasks
+                .iter()
+                .map(|task| (task.participants.first().0 - gpu_offset) / s.gpus_per_replica)
+                .collect(),
+            None => Vec::new(),
+        };
+        let is_training = serving.is_none();
         // Condense last: every structural consumer above has run, so the DAG's
         // dependency edges and groups are no longer needed. A uniquely-owned DAG is
         // drained chunk-by-chunk (freeing ~90M `deps` vectors at the 1M-GPU scale
@@ -1033,6 +1255,15 @@ impl ScenarioSim {
             shim: OpusShim::new(),
             rng,
             arrives_via_event,
+            active: serving.as_ref().map_or(0, |s| s.initial_replicas),
+            pending_active: serving.as_ref().map_or(0, |s| s.initial_replicas),
+            serving_started: false,
+            serving_idle: false,
+            backlog: VecDeque::new(),
+            request_latencies: Vec::new(),
+            requests_completed: 0,
+            task_replica,
+            serving,
             iteration: 0,
             iter_start: SimTime::ZERO,
             remaining: Vec::with_capacity(n),
@@ -1045,8 +1276,9 @@ impl ScenarioSim {
             memo: MemoState {
                 // Jitter must be inert: a drawing RNG makes every iteration unique
                 // *and* replay would have to reproduce the stream's advancement.
-                // `build` additionally disables the memo for multi-job scenarios.
-                enabled: config.memoize_steady_state && config.jitter_inert(),
+                // Serving jobs iterate on demand, not a steady cycle. `build`
+                // additionally disables the memo for multi-job scenarios.
+                enabled: config.memoize_steady_state && config.jitter_inert() && is_training,
                 template: None,
                 counters_at_finish: (0, 0),
                 last_delta: None,
@@ -1246,7 +1478,7 @@ impl ScenarioSim {
             engine.schedule_at(ShardId(0), inj.at, SimEvent::External(i as u32));
         }
         for j in 0..self.jobs.len() {
-            if !self.jobs[j].arrives_via_event {
+            if !self.jobs[j].arrives_via_event && self.jobs[j].serving.is_none() {
                 self.start_iteration(j, SimTime::ZERO, &mut engine);
             }
         }
@@ -1286,14 +1518,28 @@ impl ScenarioSim {
              sharded merge delivered an event out of order"
         );
         for ctx in &self.jobs {
-            assert_eq!(
-                ctx.completed.len(),
-                ctx.config.iterations as usize,
-                "{} finished {} of {} iterations — it never arrived or was starved",
-                ctx.job,
-                ctx.completed.len(),
-                ctx.config.iterations
-            );
+            if ctx.serving.is_some() {
+                assert!(
+                    ctx.backlog.is_empty(),
+                    "{} ended with {} unserved requests — the serving loop stalled",
+                    ctx.job,
+                    ctx.backlog.len()
+                );
+                assert!(
+                    ctx.requests_completed > 0,
+                    "{} is a serving job that retired no requests",
+                    ctx.job
+                );
+            } else {
+                assert_eq!(
+                    ctx.completed.len(),
+                    ctx.config.iterations as usize,
+                    "{} finished {} of {} iterations — it never arrived or was starved",
+                    ctx.job,
+                    ctx.completed.len(),
+                    ctx.config.iterations
+                );
+            }
         }
         self.makespan = engine.now();
     }
@@ -1326,12 +1572,35 @@ impl ScenarioSim {
                 }
             }
         }
+        // Tenant-fairness accounting: the controller's per-tenant ledgers (only
+        // populated under an eviction policy other than `Never`) plus each job's
+        // share of the scenario-wide circuit wait.
+        let (evictions, circuits_evicted_by_rail) = match self.fleet.backend.controller() {
+            Some(c) if c.tenancy_active() => (
+                (0..self.jobs.len() as u32)
+                    .map(|t| (c.evictions_suffered_by(t), c.evictions_inflicted_by(t)))
+                    .collect::<Vec<_>>(),
+                c.circuits_evicted_by_rail().to_vec(),
+            ),
+            _ => (vec![(0, 0); self.jobs.len()], Vec::new()),
+        };
+        let job_wait: Vec<SimDuration> = self
+            .jobs
+            .iter()
+            .map(|ctx| {
+                ctx.completed.iter().fold(SimDuration::ZERO, |acc, it| {
+                    acc.saturating_add(it.total_circuit_wait)
+                })
+            })
+            .collect();
+        let total_wait: f64 = job_wait.iter().map(|w| w.as_nanos() as f64).sum();
         let fleet = FleetMetrics {
             rail_busy: std::mem::take(&mut self.fleet.rail_busy),
             cross_job_rail_overlaps: std::mem::take(&mut self.fleet.overlaps),
             cross_job_port_takeovers: self.fleet.port_takeovers,
             circuits_set_up_by_rail,
             circuits_torn_down_by_rail,
+            circuits_evicted_by_rail,
             rail_failures: self.fleet.health.failures_by_rail().to_vec(),
             rail_downtime: self.fleet.health.downtime_by_rail().to_vec(),
             injections_applied: self.fleet.injections_applied,
@@ -1341,7 +1610,8 @@ impl ScenarioSim {
         let jobs = self
             .jobs
             .into_iter()
-            .map(|mut ctx| {
+            .enumerate()
+            .map(|(j, mut ctx)| {
                 // A degraded period still open at collection time ends at the
                 // scenario's makespan (the outage was never recovered).
                 if let Some(since) = ctx.degraded_since.take() {
@@ -1349,6 +1619,12 @@ impl ScenarioSim {
                         .time_under_degraded_plan
                         .saturating_add(makespan.duration_since(since));
                 }
+                let (evictions_suffered, evictions_inflicted) = evictions[j];
+                let circuit_wait_share = if total_wait > 0.0 {
+                    job_wait[j].as_nanos() as f64 / total_wait
+                } else {
+                    0.0
+                };
                 JobResult {
                     job: ctx.job,
                     gpu_offset: ctx.gpu_offset,
@@ -1356,6 +1632,11 @@ impl ScenarioSim {
                     degraded_iterations: ctx.degraded_iterations,
                     replan_reconfigs: ctx.replan_reconfigs,
                     time_under_degraded_plan: ctx.time_under_degraded_plan,
+                    evictions_suffered,
+                    evictions_inflicted,
+                    circuit_wait_share,
+                    requests_completed: ctx.requests_completed,
+                    p99_request_latency: p99(&mut ctx.request_latencies),
                     result: SimulationResult {
                         iterations: ctx.completed,
                     },
@@ -1373,11 +1654,31 @@ impl ScenarioSim {
         ctx.remaining.clear();
         ctx.remaining.extend_from_slice(&ctx.dep_counts);
         ctx.finish.fill(SimTime::ZERO);
-        ctx.done_left = ctx.tasks.len();
-        for (i, &indegree) in ctx.dep_counts.iter().enumerate() {
-            if indegree == 0 {
-                let shard = ctx.task_shard[i];
-                engine.schedule_at(shard, at, SimEvent::Ready(j as u16, TaskId(i as u32)));
+        if ctx.serving.is_some() {
+            // Snapshot the elastic size for this iteration and mask out every task
+            // of a replica at or beyond it (replicas share no tasks, so a masked
+            // replica is a closed subgraph — none of its tasks are reachable from
+            // an unmasked root).
+            ctx.active = ctx.pending_active;
+            let active = ctx.active;
+            ctx.done_left = ctx.task_replica.iter().filter(|&&r| r < active).count();
+            debug_assert!(
+                ctx.done_left > 0,
+                "a serving iteration must run at least one replica"
+            );
+            for (i, &indegree) in ctx.dep_counts.iter().enumerate() {
+                if indegree == 0 && ctx.task_replica[i] < active {
+                    let shard = ctx.task_shard[i];
+                    engine.schedule_at(shard, at, SimEvent::Ready(j as u16, TaskId(i as u32)));
+                }
+            }
+        } else {
+            ctx.done_left = ctx.tasks.len();
+            for (i, &indegree) in ctx.dep_counts.iter().enumerate() {
+                if indegree == 0 {
+                    let shard = ctx.task_shard[i];
+                    engine.schedule_at(shard, at, SimEvent::Ready(j as u16, TaskId(i as u32)));
+                }
             }
         }
     }
@@ -1388,8 +1689,12 @@ impl ScenarioSim {
         let ScenarioSim { jobs, fleet, .. } = &mut *self;
         let ctx = &mut jobs[j];
         debug_assert!(
-            ctx.remaining.iter().all(|&r| r == 0),
-            "every task must have executed"
+            ctx.remaining
+                .iter()
+                .enumerate()
+                .all(|(i, &r)| r == 0
+                    || (ctx.serving.is_some() && ctx.task_replica[i] >= ctx.active)),
+            "every unmasked task must have executed"
         );
         let start = ctx.iter_start;
         let end = ctx.finish.iter().copied().max().unwrap_or(start).max(start);
@@ -1412,6 +1717,23 @@ impl ScenarioSim {
             ctx.shim.finish_profiling();
         }
         ctx.iteration += 1;
+        if let Some(spec) = ctx.serving {
+            // Retire the oldest requests this iteration's active batch capacity
+            // covers, then keep iterating while the backlog holds more — or go
+            // idle until the next burst.
+            let capacity = spec.batch_capacity as usize * ctx.active as usize;
+            for _ in 0..capacity.min(ctx.backlog.len()) {
+                let arrived = ctx.backlog.pop_front().expect("len checked");
+                ctx.request_latencies.push(end.duration_since(arrived));
+                ctx.requests_completed += 1;
+            }
+            if ctx.backlog.is_empty() {
+                ctx.serving_idle = true;
+            } else {
+                self.start_iteration(j, end, engine);
+            }
+            return;
+        }
         // Steady-state detection: an exact byte-comparison of the just-committed
         // timeline against its predecessor's, shifted by the iteration period, plus
         // a repeat of the controller's request-counter delta. Both members of the
@@ -1904,7 +2226,8 @@ impl ScenarioSim {
                     now.as_nanos()
                         .saturating_sub(config.reconfig_latency.as_nanos()),
                 );
-                lane.ports_free_at(rail_config).max(earliest_useful)
+                lane.ports_free_for(ctx.job.0, rail_config)
+                    .max(earliest_useful)
             } else {
                 now
             };
@@ -1917,7 +2240,10 @@ impl ScenarioSim {
             let start_install = if noop {
                 requested_at
             } else {
-                requested_at.max(lane.ports_free_at(rail_config))
+                // Under `EvictionPolicy::Never` this is exactly the old
+                // `requested_at.max(lane.ports_free_at(rail_config))`; an active
+                // policy may instead evict other tenants' port holds.
+                lane.claim_ports(ctx.job.0, rail_config, requested_at)
             };
             // Unconditional, like `OpusController::request`: a no-op install leaves
             // the matching (and the epoch) untouched and returns the existing ready
@@ -1939,7 +2265,7 @@ impl ScenarioSim {
 
         let start = ready.max(now);
         let end = start + duration;
-        lane.occupy(rail_config, end);
+        lane.occupy_for(ctx.job.0, rail_config, end);
         RailOutcome {
             end,
             noop,
@@ -2068,6 +2394,30 @@ impl ScenarioSim {
                     "{job} arrived twice"
                 );
                 self.start_iteration(j, now, engine);
+            }
+            ScenarioEvent::RequestBurst { job, requests } => {
+                let j = job.index();
+                let ctx = &mut self.jobs[j];
+                for _ in 0..requests {
+                    ctx.backlog.push_back(now);
+                }
+                // The first burst starts the job; a burst into an idle job resumes
+                // it. A busy job just absorbed the burst into its backlog — its
+                // in-flight iteration picks the requests up at its boundary.
+                if !ctx.serving_started || ctx.serving_idle {
+                    ctx.serving_started = true;
+                    ctx.serving_idle = false;
+                    self.start_iteration(j, now, engine);
+                }
+            }
+            ScenarioEvent::JobGrow { job } => {
+                let ctx = &mut self.jobs[job.index()];
+                let max = ctx.serving.expect("build validated the target").replicas;
+                ctx.pending_active = (ctx.pending_active + 1).min(max);
+            }
+            ScenarioEvent::JobShrink { job } => {
+                let ctx = &mut self.jobs[job.index()];
+                ctx.pending_active = ctx.pending_active.saturating_sub(1).max(1);
             }
         }
     }
@@ -2468,7 +2818,12 @@ impl ScenarioSim {
                         now.as_nanos()
                             .saturating_sub(config.reconfig_latency.as_nanos()),
                     );
-                    controller.ports_free_at(circuits).max(earliest_useful)
+                    // Holds an active eviction policy would displace don't delay
+                    // the speculative request; falls back byte-identical to
+                    // `ports_free_at` under `EvictionPolicy::Never`.
+                    controller
+                        .ports_free_for(ctx.job.0, circuits)
+                        .max(earliest_useful)
                 } else {
                     now
                 };
@@ -2481,7 +2836,8 @@ impl ScenarioSim {
                 } else {
                     requested_at
                 };
-                let ready = controller.request(circuit_group, circuits, requested_at);
+                let ready =
+                    controller.request_from(ctx.job.0, circuit_group, circuits, requested_at);
                 let start = ready.max(now);
                 (start, start.duration_since(now), SimDuration::ZERO)
             }
@@ -2493,7 +2849,7 @@ impl ScenarioSim {
         if scaleout && !offloaded {
             if optical {
                 if let Some(controller) = fleet.backend.controller_mut() {
-                    controller.occupy(circuits, end);
+                    controller.occupy_for(ctx.job.0, circuits, end);
                 }
             }
             if fleet.multi_job {
@@ -3188,5 +3544,199 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ---- serving (elastic inference) scenarios ------------------------------------
+
+    use railsim_workload::{InferenceConfig, InferenceDagBuilder};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    /// A 20-GPU mixed-tenancy scenario: a training tenant on nodes 0–3 and an
+    /// elastic inference tenant shifted one node over (nodes 1–4), both optical,
+    /// with a bursty request timeline plus one grow and one shrink. The one-node
+    /// shift makes the tenants' cross-node rings *conflict* instead of coincide:
+    /// the inference hop GPU4↔GPU8 shares rail-0 ports with the trainer's GPU0↔GPU4
+    /// and GPU8↔GPU12 rings but is a different circuit, so installs are non-noop
+    /// and the port-claim (eviction) path actually engages.
+    fn mixed_tenancy_spec(eviction: EvictionPolicy) -> ScenarioSpec {
+        let cluster = tiny_cluster(5);
+        let model = ModelConfig::llama3_8b();
+        let parallel = ParallelismConfig::paper_llama3_8b();
+        let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+        let train_dag = DagBuilder::new(model, parallel, compute).build();
+        let mut train_cfg = OpusConfig::on_demand(SimDuration::from_millis(25))
+            .with_iterations(3)
+            .with_jitter(0.0, 1);
+        train_cfg.eviction = eviction;
+        let serve_cfg = train_cfg;
+        let inference = InferenceConfig::tiny_test(4, 2, 2);
+        let serving = ServingSpec::for_inference(&inference, 1);
+        let dag = InferenceDagBuilder::new(inference, GpuSpec::a100()).build();
+        ScenarioSpec::new(cluster)
+            .job(Arc::new(train_dag), train_cfg)
+            .serving_job(Arc::new(dag), serve_cfg, JobPlacement::AtGpu(4), serving)
+            .inject(
+                ms(1),
+                ScenarioEvent::RequestBurst {
+                    job: JobId(1),
+                    requests: 8,
+                },
+            )
+            .inject(ms(20), ScenarioEvent::JobGrow { job: JobId(1) })
+            .inject(
+                ms(25),
+                ScenarioEvent::RequestBurst {
+                    job: JobId(1),
+                    requests: 12,
+                },
+            )
+            .inject(ms(60), ScenarioEvent::JobShrink { job: JobId(1) })
+            .inject(
+                ms(70),
+                ScenarioEvent::RequestBurst {
+                    job: JobId(1),
+                    requests: 6,
+                },
+            )
+    }
+
+    #[test]
+    fn serving_job_retires_every_request_and_reports_latencies() {
+        let result = mixed_tenancy_spec(EvictionPolicy::Never).run();
+        assert_eq!(result.fleet.injections_applied, 5);
+        let serving = &result.jobs[1];
+        assert_eq!(
+            serving.requests_completed, 26,
+            "every injected request must retire"
+        );
+        assert!(serving.p99_request_latency.is_some());
+        assert!(
+            serving.result.iterations.len() >= 3,
+            "26 requests at batch 4 × ≤2 replicas need several iterations, got {}",
+            serving.result.iterations.len()
+        );
+        let training = &result.jobs[0];
+        assert_eq!(training.result.iterations.len(), 3);
+        assert_eq!(training.requests_completed, 0);
+        assert!(training.p99_request_latency.is_none());
+        // Under `Never` the tenancy ledgers stay off entirely.
+        for job in &result.jobs {
+            assert_eq!(job.evictions_suffered, 0);
+            assert_eq!(job.evictions_inflicted, 0);
+        }
+        assert!(result.fleet.circuits_evicted_by_rail.is_empty());
+        let share: f64 = result.jobs.iter().map(|j| j.circuit_wait_share).sum();
+        assert!(
+            (share - 1.0).abs() < 1e-9,
+            "circuit-wait shares must partition the total, got {share}"
+        );
+    }
+
+    #[test]
+    fn grow_and_shrink_resize_the_active_replica_set() {
+        let result = mixed_tenancy_spec(EvictionPolicy::Never).run();
+        let counts: Vec<usize> = result.jobs[1]
+            .result
+            .iterations
+            .iter()
+            .map(|it| it.comm_records.len())
+            .collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert_eq!(
+            max,
+            2 * min,
+            "two active replicas run exactly twice the comm tasks of one: {counts:?}"
+        );
+        assert!(
+            counts.windows(2).any(|w| w[0] == min && w[1] == max),
+            "the grow must take effect at an iteration boundary: {counts:?}"
+        );
+        assert!(
+            counts.windows(2).any(|w| w[0] == max && w[1] == min),
+            "the shrink must take effect at an iteration boundary: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_tenancy_is_deterministic_for_any_shard_thread_commit_count() {
+        for eviction in [EvictionPolicy::Never, EvictionPolicy::FairShare] {
+            let reference = serde_json::to_string_pretty(&mixed_tenancy_spec(eviction).run())
+                .expect("results serialize");
+            for (shards, threads, commits) in [(2u32, 3u32, 2u32), (7, 2, 4), (1, 4, 8)] {
+                let mut spec = mixed_tenancy_spec(eviction);
+                for job in &mut spec.jobs {
+                    job.config.event_shards = Some(shards);
+                    job.config.parallel_threads = Some(threads);
+                    job.config.commit_threads = Some(commits);
+                }
+                let alt = serde_json::to_string_pretty(&spec.run()).expect("results serialize");
+                assert_eq!(
+                    alt, reference,
+                    "{eviction:?} diverged at shards={shards} threads={threads} \
+                     commits={commits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fair_share_strictly_improves_inference_p99_under_contention() {
+        let never = mixed_tenancy_spec(EvictionPolicy::Never).run();
+        let fair = mixed_tenancy_spec(EvictionPolicy::FairShare).run();
+        let p99_never = never.jobs[1].p99_request_latency.expect("serving job");
+        let p99_fair = fair.jobs[1].p99_request_latency.expect("serving job");
+        assert!(
+            p99_fair < p99_never,
+            "FairShare must strictly improve the inference tenant's p99 on the \
+             pinned contention seed: fair {p99_fair:?} vs never {p99_never:?}"
+        );
+        assert!(
+            fair.jobs[1].evictions_inflicted > 0,
+            "the improvement must come from evictions"
+        );
+        assert_eq!(
+            fair.jobs[0].evictions_suffered, fair.jobs[1].evictions_inflicted,
+            "two tenants: everything the trainer suffered, the server inflicted"
+        );
+        assert!(fair.fleet.circuits_evicted_by_rail.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a serving job")]
+    fn request_burst_for_a_training_job_is_rejected() {
+        let config = OpusConfig::provisioned(SimDuration::from_millis(5))
+            .with_iterations(2)
+            .with_jitter(0.0, 1);
+        Scenario::new(tiny_cluster(4))
+            .job(tiny_dag(), config)
+            .inject(
+                ms(5),
+                ScenarioEvent::RequestBurst {
+                    job: JobId(0),
+                    requests: 4,
+                },
+            )
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no RequestBurst")]
+    fn serving_job_without_bursts_is_rejected() {
+        let mut spec = mixed_tenancy_spec(EvictionPolicy::Never);
+        spec.injections
+            .retain(|(_, e)| !matches!(e, ScenarioEvent::RequestBurst { .. }));
+        spec.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on the eviction policy")]
+    fn mixed_eviction_policies_are_rejected() {
+        let mut spec = mixed_tenancy_spec(EvictionPolicy::Never);
+        spec.jobs[1].config.eviction = EvictionPolicy::FairShare;
+        spec.run();
     }
 }

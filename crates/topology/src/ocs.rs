@@ -438,6 +438,39 @@ impl Ocs {
         Some(ready)
     }
 
+    /// Number of installed circuits an [`Ocs::install`] of `config` would tear down:
+    /// circuits holding a requested port that are not themselves part of the request.
+    /// The read half of the install's teardown pass — tenant-aware controllers use it
+    /// to account evictions (who displaced whose circuits) before committing the
+    /// install that performs them.
+    pub fn conflicting_circuits(&self, config: &CircuitConfig) -> usize {
+        let mut displaced = 0usize;
+        for c in config.circuits() {
+            let (a, b) = (self.dense(c.a()), self.dense(c.b()));
+            if self.peer.get(a).copied() == Some(b as u32) {
+                continue; // already installed: nothing to displace
+            }
+            for p in [a, b] {
+                match self.peer.get(p).copied() {
+                    Some(q) if q != NO_PEER => {
+                        // Count a displaced circuit once even when the request claims
+                        // both of its endpoints (at the smaller endpoint).
+                        let q = q as usize;
+                        let other_requested = config
+                            .circuits()
+                            .iter()
+                            .any(|d| self.dense(d.a()) == q || self.dense(d.b()) == q);
+                        if !other_requested || q > p {
+                            displaced += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        displaced
+    }
+
     /// Installs the circuits of `config`, tearing down any existing circuits that
     /// conflict with the requested ports.
     ///
@@ -677,6 +710,38 @@ mod tests {
         assert!(ocs.gpus_connected(GpuId(0), GpuId(2), SimTime::from_millis(200)));
         assert_eq!(ocs.circuits_torn_down(), 1);
         assert_eq!(ocs.circuits_set_up(), 2);
+    }
+
+    #[test]
+    fn conflicting_circuits_counts_displacements_without_mutating() {
+        let mut ocs = Ocs::new(16, SimDuration::ZERO);
+        let installed = CircuitConfig::new(vec![
+            Circuit::new(port(0, 0), port(1, 0)),
+            Circuit::new(port(2, 0), port(3, 0)),
+        ])
+        .unwrap();
+        ocs.install(&installed, SimTime::ZERO).unwrap();
+        let epoch = ocs.epoch();
+        // Claims one endpoint of each installed circuit: both get displaced.
+        let takeover = CircuitConfig::new(vec![Circuit::new(port(0, 0), port(2, 0))]).unwrap();
+        assert_eq!(ocs.conflicting_circuits(&takeover), 2);
+        // Claims both endpoints of one installed circuit: counted once.
+        let flip = CircuitConfig::new(vec![
+            Circuit::new(port(0, 0), port(4, 0)),
+            Circuit::new(port(1, 0), port(5, 0)),
+        ])
+        .unwrap();
+        assert_eq!(ocs.conflicting_circuits(&flip), 1);
+        // Re-requesting the installed matching displaces nothing.
+        assert_eq!(ocs.conflicting_circuits(&installed), 0);
+        // Untouched ports conflict with nothing.
+        let free = CircuitConfig::new(vec![Circuit::new(port(6, 0), port(7, 0))]).unwrap();
+        assert_eq!(ocs.conflicting_circuits(&free), 0);
+        assert_eq!(ocs.epoch(), epoch, "a count query must not mutate");
+        // The install then performs exactly the counted teardowns.
+        let before = ocs.circuits_torn_down();
+        ocs.install(&takeover, SimTime::ZERO).unwrap();
+        assert_eq!(ocs.circuits_torn_down() - before, 2);
     }
 
     #[test]

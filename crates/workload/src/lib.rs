@@ -15,6 +15,8 @@
 //!   phase classification (Fig. 3),
 //! * [`DagBuilder`] / [`TrainingDag`] — the execution DAG of one training iteration
 //!   (Fig. 2), consumed by the Opus simulator,
+//! * [`InferenceDagBuilder`] / [`InferenceConfig`] — the serving workload class:
+//!   prefill/decode phase structure over elastic replica groups (see [`inference`]),
 //! * [`intern`] — the interned label symbol table and pooled rank sets that keep a
 //!   100k-GPU DAG's per-task footprint at two 4-byte handles,
 //! * [`strategy`] — the Table 1 rule-of-thumb strategy advisor,
@@ -41,6 +43,7 @@ pub mod arena;
 pub mod compute;
 pub mod dag;
 pub mod deps;
+pub mod inference;
 pub mod intern;
 pub mod mem;
 pub mod model;
@@ -56,6 +59,7 @@ pub use arena::{Arena, Handle};
 pub use compute::{ComputeModel, GpuSpec};
 pub use dag::{DagBuilder, JobId, Task, TaskArena, TaskId, TaskKind, TaskTable, TrainingDag};
 pub use deps::{DepList, DEPS_INLINE};
+pub use inference::{InferenceConfig, InferenceDagBuilder};
 pub use intern::{LabelId, RankSet};
 pub use mem::release_free_heap;
 pub use model::{DType, ModelConfig};

@@ -68,17 +68,18 @@ pub use railsim_workload as workload;
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use opus::{
-        window_cdf, windows_on_rail, FailureModel, FleetService, Frontier, JobPlacement, JobSpec,
-        LevelSummary, OpusConfig, OpusController, OpusShim, OpusSimulator, Percentiles,
-        ProvisioningLevel, ReconfigPolicy, RecoveryPolicy, Scenario, ScenarioEvent, ScenarioResult,
-        ScenarioSpec, SimulationResult, SweepReport, SweepSpec, VariantResult,
+        window_cdf, windows_on_rail, ArrivalProcess, EvictionPolicy, FailureModel, FleetService,
+        Frontier, JobPlacement, JobSpec, LevelSummary, OpusConfig, OpusController, OpusShim,
+        OpusSimulator, Percentiles, ProvisioningLevel, ReconfigPolicy, RecoveryPolicy, Scenario,
+        ScenarioEvent, ScenarioResult, ScenarioSpec, ServingSpec, SimulationResult, SweepReport,
+        SweepSpec, VariantResult,
     };
     pub use railsim_collectives::{Algorithm, CollectiveKind, CommGroup, GroupId, ParallelismAxis};
     pub use railsim_cost::{FabricKind, GpuBackendCostModel};
     pub use railsim_sim::{Bandwidth, Bytes, SimDuration, SimTime};
     pub use railsim_topology::{Cluster, ClusterSpec, GpuId, NicConfig, NodePreset, RailId};
     pub use railsim_workload::{
-        ComputeModel, DagBuilder, DataParallelKind, GpuSpec, JobId, ModelConfig, ParallelismConfig,
-        PipelineSchedule, TrainingDag,
+        ComputeModel, DagBuilder, DataParallelKind, GpuSpec, InferenceConfig, InferenceDagBuilder,
+        JobId, ModelConfig, ParallelismConfig, PipelineSchedule, TrainingDag,
     };
 }

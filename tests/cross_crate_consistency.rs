@@ -5,7 +5,7 @@
 
 use photonic_rails::opus::{CircuitPlanner, GroupTable};
 use photonic_rails::prelude::*;
-use photonic_rails::workload::{RankMapping, TaskKind};
+use photonic_rails::workload::{RankMapping, TaskId, TaskKind};
 
 fn cluster_and_parallelism(
     nodes: u32,
@@ -153,4 +153,58 @@ fn umbrella_crate_reexports_are_usable_together() {
         bw.transfer_time(Bytes::from_gb(1)),
         SimDuration::from_millis(20)
     );
+}
+
+#[test]
+fn inference_replicas_are_disjoint_closed_subgraphs() {
+    // The serving driver grows and shrinks a deployment by masking whole replica
+    // slices in and out of the DAG. That is sound only if the inference builder
+    // keeps replicas fully disjoint: every task's ranks inside one replica's
+    // contiguous slice, every dependency edge inside the same replica, and every
+    // comm group confined to a single replica. Check the promise end to end
+    // against the ServingSpec geometry the scenario builder validates.
+    let inference = InferenceConfig::tiny_test(4, 2, 3);
+    let serving = ServingSpec::for_inference(&inference, 2);
+    assert!(serving.is_valid());
+    assert_eq!(
+        serving.replicas * serving.gpus_per_replica,
+        inference.world_size(),
+        "spec geometry must cover the DAG's world exactly"
+    );
+
+    let dag = InferenceDagBuilder::new(inference, GpuSpec::a100()).build();
+    assert!(dag.validate().is_ok());
+    assert_eq!(
+        dag.max_rank() + 1,
+        serving.replicas * serving.gpus_per_replica
+    );
+
+    let width = serving.gpus_per_replica;
+    let replica_of = |rank: GpuId| rank.0 / width;
+    for i in 0..dag.len() {
+        let task = dag.task(TaskId(i as u32));
+        let replicas: std::collections::HashSet<_> =
+            task.ranks().iter().copied().map(replica_of).collect();
+        assert_eq!(
+            replicas.len(),
+            1,
+            "task {:?} spans replicas {replicas:?}",
+            task.id
+        );
+        let replica = *replicas.iter().next().unwrap();
+        for &dep in &task.deps {
+            let dep_replica = replica_of(dag.task(dep).ranks()[0]);
+            assert_eq!(
+                dep_replica, replica,
+                "dependency {dep:?} of task {:?} crosses replicas",
+                task.id
+            );
+        }
+    }
+
+    for (id, group) in &dag.groups {
+        let replicas: std::collections::HashSet<_> =
+            group.ranks.iter().copied().map(replica_of).collect();
+        assert_eq!(replicas.len(), 1, "comm group {id:?} spans replicas");
+    }
 }

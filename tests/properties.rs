@@ -354,6 +354,72 @@ proptest! {
     }
 
     #[test]
+    fn serving_timelines_are_byte_identical_across_shards_and_threads(
+        bursts in proptest::collection::vec((0u64..200, 1u32..16), 1..5),
+        grow_ms in 0u64..200,
+        shrink_ms in 0u64..200,
+        eviction_draw in 0u32..3,
+        seed in 0u64..1000,
+        shards in 1u32..65,
+        threads in 1u32..9,
+        commits in 1u32..9,
+    ) {
+        // The serving event class — open-loop request bursts, elastic grow/shrink,
+        // tenant-aware eviction — joins the same contract as the rail flaps above: a
+        // mixed training + inference scenario on shared rails must serialize
+        // byte-identically for every engine lane count, prep-worker count and
+        // commit-thread count, under every eviction policy.
+        let eviction = [
+            EvictionPolicy::Never,
+            EvictionPolicy::LruTenant,
+            EvictionPolicy::FairShare,
+        ][eviction_draw as usize];
+        let build = |config: OpusConfig| {
+            // 5 nodes: the 16-rank trainer packed at GPU 0, the 16-GPU serving
+            // deployment one node over, so their circuits conflict on rails 0-3.
+            let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 5).build();
+            let model = ModelConfig::tiny_test();
+            let parallel = ParallelismConfig::paper_llama3_8b();
+            let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+            let train_dag = DagBuilder::new(model, parallel, compute).build();
+            let inference = InferenceConfig::tiny_test(4, 2, 2);
+            let serving = ServingSpec::for_inference(&inference, 1);
+            let serve_dag = InferenceDagBuilder::new(inference, GpuSpec::a100()).build();
+            let mut scenario = Scenario::new(cluster)
+                .job(train_dag, config)
+                .serving_job(serve_dag, config, JobPlacement::AtGpu(4), serving)
+                .inject(
+                    SimTime::from_millis(grow_ms),
+                    ScenarioEvent::JobGrow { job: JobId(1) },
+                )
+                .inject(
+                    SimTime::from_millis(shrink_ms),
+                    ScenarioEvent::JobShrink { job: JobId(1) },
+                );
+            for &(at_ms, requests) in &bursts {
+                scenario = scenario.inject(
+                    SimTime::from_millis(at_ms),
+                    ScenarioEvent::RequestBurst { job: JobId(1), requests },
+                );
+            }
+            serde_json::to_string_pretty(&scenario.run()).expect("scenario results serialize")
+        };
+        let mut base = OpusConfig::on_demand(SimDuration::from_millis(5))
+            .with_iterations(2)
+            .with_jitter(0.05, seed);
+        base.eviction = eviction;
+        let reference = build(base);
+        let mut alt = base.with_event_shards(shards).with_parallel_threads(threads);
+        alt.commit_threads = Some(commits);
+        let variant = build(alt);
+        prop_assert_eq!(
+            reference, variant,
+            "mixed-tenancy scenario diverged at {} shards x {} threads x {} commit threads under {}",
+            shards, threads, commits, eviction.name()
+        );
+    }
+
+    #[test]
     fn memoized_fast_forward_is_byte_identical_to_naive(
         flap in (100u64..2_000, 50u64..1_000, 0u32..5),
         two_jobs in 0u32..2,

@@ -109,6 +109,7 @@ fn builder_and_hand_assembled_spec_serialize_identically() {
             dag: std::sync::Arc::new(dag),
             config,
             placement: JobPlacement::Auto,
+            serving: None,
         });
         spec.injections = vec![
             (SimTime::from_millis(5), ScenarioEvent::RailDown(RailId(0))),
@@ -145,6 +146,80 @@ fn memoized_steady_state_matches_the_naive_pin() {
         fnv1a(via_naive.as_bytes()),
         0x37966508faa37c81,
         "naive-path metrics diverged from the captured seed"
+    );
+}
+
+// ---- mixed-tenancy pins ------------------------------------------------------------
+
+/// The tiny mixed training + inference scenario: the 16-rank trainer packed at
+/// GPU 0 and a 2-replica serving deployment one node over, so the two tenants
+/// contend for rails 0-3 with *conflicting* (not identical) circuits. The full
+/// serialized `ScenarioResult` is hashed, so any byte of drift in the serving
+/// datapath — arrivals, elastic resizes, eviction accounting — shows up.
+fn mixed_tenancy_result(eviction: EvictionPolicy) -> String {
+    let cluster = ClusterSpec::from_preset(NodePreset::PerlmutterA100, 5).build();
+    let model = ModelConfig::llama3_8b();
+    let parallel = ParallelismConfig::paper_llama3_8b();
+    let compute = ComputeModel::derive(&model, &parallel, &GpuSpec::a100());
+    let train_dag = DagBuilder::new(model, parallel, compute).build();
+    let mut config = OpusConfig::on_demand(SimDuration::from_millis(25))
+        .with_iterations(3)
+        .with_jitter(0.0, 1);
+    config.eviction = eviction;
+    let inference = InferenceConfig::tiny_test(4, 2, 2);
+    let serving = ServingSpec::for_inference(&inference, 1);
+    let serve_dag = InferenceDagBuilder::new(inference, GpuSpec::a100()).build();
+    let result = Scenario::new(cluster)
+        .job(train_dag, config)
+        .serving_job(serve_dag, config, JobPlacement::AtGpu(4), serving)
+        .inject(
+            SimTime::from_millis(1),
+            ScenarioEvent::RequestBurst {
+                job: JobId(1),
+                requests: 8,
+            },
+        )
+        .inject(
+            SimTime::from_millis(20),
+            ScenarioEvent::JobGrow { job: JobId(1) },
+        )
+        .inject(
+            SimTime::from_millis(25),
+            ScenarioEvent::RequestBurst {
+                job: JobId(1),
+                requests: 12,
+            },
+        )
+        .inject(
+            SimTime::from_millis(60),
+            ScenarioEvent::JobShrink { job: JobId(1) },
+        )
+        .inject(
+            SimTime::from_millis(70),
+            ScenarioEvent::RequestBurst {
+                job: JobId(1),
+                requests: 6,
+            },
+        )
+        .run();
+    serde_json::to_string_pretty(&result).expect("scenario results serialize")
+}
+
+#[test]
+fn mixed_tenancy_metrics_are_pinned() {
+    // Two pins, captured when the serving subsystem landed: `Never` freezes the
+    // tenancy-off datapath (the serving loop riding the unchanged claim path), and
+    // `FairShare` freezes the eviction machinery itself — ledgers, clamped holds
+    // and the per-tenant fairness metrics included.
+    assert_eq!(
+        fnv1a(mixed_tenancy_result(EvictionPolicy::Never).as_bytes()),
+        0x53bdd337697f09d2,
+        "mixed-tenancy metrics under Never diverged from the captured pin"
+    );
+    assert_eq!(
+        fnv1a(mixed_tenancy_result(EvictionPolicy::FairShare).as_bytes()),
+        0xadae779aa099f243,
+        "mixed-tenancy metrics under FairShare diverged from the captured pin"
     );
 }
 
@@ -242,6 +317,66 @@ fn seed_pin_1k_rail_flap_stall() {
         fnv1a(json.as_bytes()),
         0xebc3c679b5b5d17a,
         "1k-GPU stall rail-flap metrics diverged from the pre-replan seed"
+    );
+}
+
+#[test]
+#[ignore = "1k-GPU release-mode pin; run explicitly (CI does) — slow in debug builds"]
+fn seed_pin_1k_mixed_tenancy() {
+    // The release-mode mixed-tenancy smoke: the full 1k-GPU trainer shares its
+    // rails with a 128-GPU serving deployment placed half a node in (so their
+    // circuits conflict on every rail), under `FairShare` eviction with an elastic
+    // grow/shrink pulse mid-run. Pins that the serving subsystem stays
+    // byte-deterministic at datacenter scale, not just on the tiny testbed.
+    let (cluster, dag) = scaled_setup_1k();
+    let mut config = scale_config_1k();
+    config.eviction = EvictionPolicy::FairShare;
+    let inference = InferenceConfig::llama3_8b(8, 8, 2);
+    let serving = ServingSpec::for_inference(&inference, 1);
+    let serve_dag = InferenceDagBuilder::new(inference, GpuSpec::h200()).build();
+    let result = Scenario::new(cluster)
+        .job(dag, config)
+        .serving_job(serve_dag, config, JobPlacement::AtGpu(4), serving)
+        .inject(
+            SimTime::from_millis(1),
+            ScenarioEvent::RequestBurst {
+                job: JobId(1),
+                requests: 64,
+            },
+        )
+        .inject(
+            SimTime::from_millis(30),
+            ScenarioEvent::JobGrow { job: JobId(1) },
+        )
+        .inject(
+            SimTime::from_millis(40),
+            ScenarioEvent::RequestBurst {
+                job: JobId(1),
+                requests: 64,
+            },
+        )
+        .inject(
+            SimTime::from_millis(80),
+            ScenarioEvent::JobShrink { job: JobId(1) },
+        )
+        .inject(
+            SimTime::from_millis(100),
+            ScenarioEvent::RequestBurst {
+                job: JobId(1),
+                requests: 32,
+            },
+        )
+        .run();
+    assert_eq!(
+        result.jobs[1].requests_completed, 160,
+        "the serving tenant must drain every injected request"
+    );
+    assert!(result.jobs[1].p99_request_latency.is_some());
+    let json = serde_json::to_string_pretty(&result).expect("scenario results serialize");
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        0x8147c397e8ac5651,
+        "1k-GPU mixed-tenancy metrics diverged from the captured pin"
     );
 }
 
